@@ -1,0 +1,19 @@
+"""Shared benchmark-harness configuration.
+
+The reproduction benches run each experiment exactly once per session
+(``benchmark.pedantic`` with one round): the quantity of interest is the
+experiment's *result* (checked against the paper's relations) and its
+one-shot wall time, not a statistical timing distribution.
+
+Slice sizes: the paper simulates 10 M instructions per benchmark after a
+20 M warm-up on a compiled C simulator.  The pure-Python equivalent here
+defaults to 60 K measured / 80 K warm-up per (benchmark, configuration)
+pair so the full Figure 4 + Figure 5 harness completes in minutes;
+the relations being checked are stable from ~50 K instructions upward.
+Set ``WSRS_BENCH_MEASURE`` / ``WSRS_BENCH_WARMUP`` to override.
+"""
+
+import os
+
+MEASURE = int(os.environ.get("WSRS_BENCH_MEASURE", 60_000))
+WARMUP = int(os.environ.get("WSRS_BENCH_WARMUP", 80_000))

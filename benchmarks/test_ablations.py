@@ -1,0 +1,76 @@
+"""Benchmark: the DESIGN.md ablation panel (A1-A4).
+
+Smaller slices than the figure benches: each ablation compares *variants
+of the same machine*, where relative effects emerge quickly.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+MEASURE = 20_000
+WARMUP = 30_000
+BENCHMARKS = ("gzip", "wupwise")
+
+
+@pytest.fixture(scope="module")
+def slice_args():
+    return dict(benchmarks=BENCHMARKS, measure=MEASURE, warmup=WARMUP)
+
+
+def test_a1_register_sweep(benchmark, slice_args):
+    """'increasing the total number of registers from 384 to 512 has a
+    minor impact on performance' - extended to a 320..640 sweep."""
+    result = benchmark.pedantic(
+        ablations.register_sweep, kwargs=slice_args, rounds=1,
+        iterations=1)
+    for name in BENCHMARKS:
+        ipc = result.ipc[name]
+        small = ipc["WSRS-RC-384"]
+        large = ipc["WSRS-RC-512"]
+        assert abs(large - small) / small < 0.05, name
+        # more registers never hurt much across the whole sweep
+        assert ipc["WSRS-RC-640"] >= ipc["WSRS-RC-320"] * 0.97
+
+
+def test_a2_fastforward_policies(benchmark, slice_args):
+    """Section 4.3.1: wider fast-forwarding can only help, and complete
+    fast-forwarding helps the conventional round-robin machine most (its
+    chains always cross clusters)."""
+    result = benchmark.pedantic(
+        ablations.fastforward_sweep, kwargs=slice_args, rounds=1,
+        iterations=1)
+    for name in BENCHMARKS:
+        ipc = result.ipc[name]
+        assert ipc["base-complete"] >= ipc["base-intra"] - 0.02
+        assert ipc["wsrs-complete"] >= ipc["wsrs-intra"] - 0.02
+        base_gain = ipc["base-complete"] - ipc["base-intra"]
+        wsrs_gain = ipc["wsrs-complete"] - ipc["wsrs-intra"]
+        # WSRS already co-locates dependants: it gains no more than base
+        assert wsrs_gain <= base_gain + 0.05
+
+
+def test_a3_rename_implementations(benchmark, slice_args):
+    """'simulation results did not exhibit any significant difference'
+    between the two renaming implementations (section 5.2.1)."""
+    result = benchmark.pedantic(
+        ablations.rename_impl_sweep, kwargs=slice_args, rounds=1,
+        iterations=1)
+    for name in BENCHMARKS:
+        ipc = result.ipc[name]
+        assert abs(ipc["WS-impl1"] - ipc["WS-impl2"]) \
+            / ipc["WS-impl2"] < 0.08, name
+        assert abs(ipc["WSRS-impl1"] - ipc["WSRS-impl2"]) \
+            / ipc["WSRS-impl2"] < 0.08, name
+
+
+def test_a4_allocation_policies(benchmark, slice_args):
+    """RC >= RM (more degrees of freedom); the dependence-aware
+    future-work policy must be at least competitive with RC."""
+    result = benchmark.pedantic(
+        ablations.allocation_sweep, kwargs=slice_args, rounds=1,
+        iterations=1)
+    for name in BENCHMARKS:
+        ipc = result.ipc[name]
+        assert ipc["RC"] >= ipc["RM"] * 0.97, name
+        assert ipc["dependence-aware"] >= ipc["RM"] * 0.95, name

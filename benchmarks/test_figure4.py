@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 4 (IPC across configurations).
+
+Runs all twelve SPEC-named workloads on the six section-5 configurations
+and asserts the relations the paper's analysis rests on.  Each suite
+(integer / floating point) is one benchmark round; the IPC tables are
+printed so the bench log doubles as the experiment record.
+"""
+
+from benchmarks.conftest import MEASURE, WARMUP
+from repro.config import figure4_configs
+from repro.experiments import figure4
+from repro.experiments.runner import format_ipc_table
+from repro.trace.profiles import FP_BENCHMARKS, INTEGER_BENCHMARKS
+
+
+def _run_suite(benchmarks):
+    return figure4.run(measure=MEASURE, warmup=WARMUP,
+                       benchmarks=list(benchmarks), print_table=False)
+
+
+def test_figure4_integer_suite(benchmark, capsys):
+    report = benchmark.pedantic(_run_suite, args=(INTEGER_BENCHMARKS,),
+                                rounds=1, iterations=1)
+    names = [config.name for config in figure4_configs()]
+    with capsys.disabled():
+        print("\nFigure 4 (integer):")
+        print(format_ipc_table(report.results, names))
+    assert report.ok, "\n".join(report.violations)
+
+
+def test_figure4_fp_suite(benchmark, capsys):
+    report = benchmark.pedantic(_run_suite, args=(FP_BENCHMARKS,),
+                                rounds=1, iterations=1)
+    names = [config.name for config in figure4_configs()]
+    with capsys.disabled():
+        print("\nFigure 4 (floating point):")
+        print(format_ipc_table(report.results, names))
+    assert report.ok, "\n".join(report.violations)
+
+
+def test_figure4_ipc_ladder(benchmark):
+    """Qualitative per-suite orderings the paper's bars exhibit."""
+
+    def ladder():
+        report = _run_suite(["gzip", "mcf", "wupwise", "facerec",
+                             "equake"])
+        return {name: report.ipc(name, "RR 256")
+                for name in report.results}
+
+    ipc = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    # mcf is the memory-bound floor; facerec the FP ceiling
+    assert ipc["mcf"] < min(v for k, v in ipc.items() if k != "mcf")
+    assert ipc["facerec"] > ipc["equake"]
+    assert ipc["wupwise"] > ipc["equake"]
+    assert ipc["gzip"] > 3 * ipc["mcf"]

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 5 (workload unbalancing degrees).
+
+Runs the twelve workloads on the conventional machine plus the two WSRS
+allocation policies and asserts the published shape: round-robin is
+perfectly balanced, RM is the most unbalanced policy in most cases, FP
+codes are more unbalanced than integer ones.
+"""
+
+from benchmarks.conftest import MEASURE, WARMUP
+from repro.experiments import figure5
+from repro.trace.profiles import ALL_BENCHMARKS
+
+
+def _run():
+    return figure5.run(measure=MEASURE, warmup=WARMUP,
+                       benchmarks=list(ALL_BENCHMARKS), print_table=False)
+
+
+def test_figure5_unbalancing_degrees(benchmark, capsys):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nFigure 5 - unbalancing degree (%)")
+        print(f"{'benchmark':<10s}{'RC':>8s}{'RM':>8s}")
+        for name in ALL_BENCHMARKS:
+            print(f"{name:<10s}"
+                  f"{report.degree(name, 'WSRS RC S 512'):>8.1f}"
+                  f"{report.degree(name, 'WSRS RM S 512'):>8.1f}")
+    assert report.ok, "\n".join(report.violations)
+    # the paper's extreme points: high-IPC FP codes approach 100 %,
+    # high-IPC integer codes sit in the ~80 % band
+    assert report.degree("facerec", "WSRS RM S 512") > 80.0
+    assert report.degree("wupwise", "WSRS RM S 512") > 80.0
+    assert 55.0 <= report.degree("gzip", "WSRS RC S 512") <= 100.0

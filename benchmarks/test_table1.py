@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Table 1 (register-file complexity).
+
+Regenerates all five columns of the paper's Table 1 from the cost models
+and asserts the reproduction contract: exact match on every structural
+cell, tolerance match on the calibrated analytic cells.
+"""
+
+from repro.experiments.table1 import compare_with_paper
+
+
+def test_table1_reproduction(benchmark):
+    comparison = benchmark.pedantic(compare_with_paper, rounds=3,
+                                    iterations=1)
+    assert comparison.ok, "\n".join(comparison.mismatches)
+    assert len(comparison.rows) == 5
+
+
+def test_table1_headline_claims(benchmark):
+    """The quantitative claims of section 4.2.2, from the generated rows."""
+
+    def claims():
+        rows = {row.organization.name: row
+                for row in compare_with_paper().rows}
+        return rows
+
+    rows = benchmark.pedantic(claims, rounds=3, iterations=1)
+    conventional = rows["noWS-D"]
+    ws = rows["WS"]
+    wsrs = rows["WSRS"]
+    reference = rows["noWS-2"]
+    # "the total silicon area of the physical register file is divided by
+    # more than six" (WSRS vs noWS-D)
+    assert conventional.total_area_ratio / wsrs.total_area_ratio > 6
+    # "Peak power consumption is more than halved"
+    assert wsrs.energy_nj < conventional.energy_nj / 2
+    # "access time is reduced by more than one third"
+    assert wsrs.access_ns < conventional.access_ns * (1 - 1 / 3) + 0.01
+    # "Using a WSRS architecture allows to further halve the silicon area"
+    assert wsrs.total_area_ratio <= ws.total_area_ratio / 2
+    # "the read access time is in the same range" (WSRS vs noWS-2)
+    assert abs(wsrs.access_ns - reference.access_ns) < 0.05
+    # "the total silicon area is only increased by 75%"
+    assert abs(wsrs.total_area_ratio / reference.total_area_ratio
+               - 1.75) < 0.01
+    # "power consumption only doubles"
+    assert wsrs.energy_nj / reference.energy_nj < 2.4

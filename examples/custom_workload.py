@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Characterise your own workload on a WSRS machine.
+
+Shows the full profile API: a custom workload is described by its
+register-dataflow shape (mix, monadic/commutative fractions, invariant
+operands, dependence distances, memory behaviour), generated, and run
+across allocation policies.  The example models a hypothetical "DSP-like"
+kernel - FP-heavy with many loop-invariant coefficients - which is
+exactly the shape the paper identifies as hard to balance (section 5.4.2),
+and then shows how the RC policy's commutative-cluster freedom claws the
+loss back compared to RM.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    SyntheticTraceGenerator,
+    WorkloadProfile,
+    baseline_rr_256,
+    simulate,
+    wsrs_rc,
+    wsrs_rm,
+)
+
+MEASURE = 40_000
+WARMUP = 50_000
+
+DSP_LIKE = WorkloadProfile(
+    name="dsp-fir",
+    kind="fp",
+    description="FIR-filter-like: FP MACs against invariant coefficients",
+    frac_load=0.24,
+    frac_store=0.08,
+    frac_branch=0.05,
+    frac_fp=0.4,
+    frac_fpmul=0.5,
+    frac_fpdiv=0.0,
+    frac_alu_monadic=0.7,
+    invariant_operand_prob=0.55,   # coefficients live in registers
+    num_fp_invariants=12,
+    dep_locality=0.3,
+    dep_window=20,
+    internal_branch_bias=0.99,
+    branch_bias_spread=0.005,
+    num_loops=3,
+    blocks_per_loop=2,
+    mean_iterations=400,
+    ws_bytes=96 * 1024,
+    stride_bytes=8,
+    frac_random_access=0.0,
+    frac_fp_load=0.8,
+)
+
+
+def run(config, label: str, baseline: float | None = None) -> float:
+    generator = SyntheticTraceGenerator(DSP_LIKE, seed=3)
+    trace = generator.generate(WARMUP + MEASURE + 8_192)
+    stats = simulate(config, trace, measure=MEASURE, warmup=WARMUP)
+    delta = ""
+    if baseline:
+        delta = f"  ({100 * (stats.ipc / baseline - 1):+.1f}%)"
+    print(f"  {label:<22s} IPC {stats.ipc:5.2f}{delta}   "
+          f"unbalancing {stats.unbalancing_degree:5.1f}%   "
+          f"swapped forms {stats.swapped_forms}")
+    return stats.ipc
+
+
+def main() -> None:
+    print(f"Workload: {DSP_LIKE.description}\n")
+    base = run(baseline_rr_256(), "conventional RR")
+    run(wsrs_rm(512), "WSRS random-monadic", base)
+    run(wsrs_rc(512), "WSRS commutative RC", base)
+    print("\nInvariant coefficient operands pin instructions to cluster")
+    print("pairs (high unbalancing); the RC policy's operand swapping")
+    print("recovers part of the loss, as in section 5.4 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

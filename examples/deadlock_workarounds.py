@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Demonstrate the renaming deadlock of section 2.3 and its workarounds.
+
+With register write specialization, a register *subset* smaller than the
+number of logical registers can fill up entirely with architected values:
+no instruction targeting that subset can ever be renamed again.  The
+paper offers two workarounds - (a) allocation avoids the deadlock, or
+(b) an exception triggers rebalancing moves.
+
+Round-robin cluster allocation (Figure 2a) spreads destinations evenly
+and rarely concentrates mappings.  The *pools* variant of write
+specialization (Figure 2b) is the dangerous one: there, the subset is
+chosen by instruction *type* - every ALU result lands in the ALU pool's
+subset - so a run of ALU instructions writing many distinct logical
+registers drives that subset to saturation deterministically.
+
+This example reproduces exactly that scenario at the renamer level:
+a WS machine with subsets of 24 registers against 32 logical registers,
+fed a stream of ALU instructions (pool 0) with distinct destinations.
+
+Run:  python examples/deadlock_workarounds.py
+"""
+
+from repro import TraceInstruction, OpClass, ws_rr
+from repro.errors import RenameDeadlockError
+from repro.isa.registers import isa_machine_config
+from repro.rename.renamer import Renamer
+
+ALU_POOL = 0  # Figure 2b: the subset every ALU result is written to
+
+
+def tight_config(policy: str):
+    config = isa_machine_config(ws_rr(512))
+    return config.with_changes(
+        int_physical_registers=96,  # 4 subsets of 24 < 32 logical regs
+        fp_physical_registers=96,
+        deadlock_policy=policy,
+        name=f"WS pools ({policy})",
+    )
+
+
+def saturate(renamer: Renamer) -> int:
+    """Rename ALU instructions with distinct dests until the pool chokes.
+
+    Every instruction commits immediately (the worst case: all its
+    mappings become architected state).  Returns how many renames
+    succeeded before the subset saturated.
+    """
+    performed = 0
+    for logical in list(range(1, 32)) * 2:
+        inst = TraceInstruction(OpClass.IALU, dest=logical, src1=0)
+        if not renamer.can_rename(inst.dest, ALU_POOL):
+            return performed
+        _, _, pdest, pold = renamer.rename(inst, ALU_POOL)
+        renamer.retire_write(pdest)
+        renamer.commit_free(pold)
+        performed += 1
+    return performed
+
+
+def main() -> None:
+    print("WS 'pools' machine: subsets of 24 registers, 32 logical "
+          "registers;\nevery ALU result is written to pool subset 0 "
+          "(Figure 2b).\n")
+
+    print("deadlock_policy='raise' (workaround (b), detection only):")
+    try:
+        count = saturate(Renamer(tight_config("raise")))
+        print(f"  unexpectedly survived {count} renames")
+    except RenameDeadlockError as error:
+        print(f"  RenameDeadlockError after filling the subset:")
+        print(f"    {error}")
+
+    print("\ndeadlock_policy='moves' (workaround (b), rebalancing moves):")
+    renamer = Renamer(tight_config("moves"))
+    count = saturate(renamer)
+    print(f"  all {count} renames completed;"
+          f" {renamer.deadlock_moves} rebalancing moves injected")
+    print(f"  free registers per subset now: "
+          f"{renamer.free_registers(0)}")
+
+    print("\nWith the paper's sizing rule (subsets >= logical registers,")
+    print("section 2.3) the deadlock cannot occur - the section 5")
+    print("configurations satisfy it by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Run real assembled programs through the simulated machines.
+
+Unlike the statistical SPEC-shaped generator, these traces come from
+actual SimISA programs - assembled, functionally executed, with true
+loop-carried dependences and addresses.  The demo compares the
+conventional round-robin machine against the WSRS machine on each kernel
+and prints where read/write specialization wins (dependence co-location)
+or loses (workload unbalance).
+
+Run:  python examples/microbenchmarks.py
+"""
+
+from repro import baseline_rr_256, simulate, wsrs_rc
+from repro.isa.registers import isa_machine_config
+from repro.trace.microbench import microbenchmark_names, microbenchmark_trace
+
+
+def main() -> None:
+    base_config = isa_machine_config(baseline_rr_256())
+    wsrs_config = isa_machine_config(wsrs_rc(512))
+
+    print(f"{'kernel':<16s}{'insts':>8s}{'base IPC':>10s}"
+          f"{'WSRS IPC':>10s}{'delta':>8s}{'unbal':>7s}")
+    for name in microbenchmark_names():
+        trace = list(microbenchmark_trace(name))
+        base = simulate(base_config, iter(trace), measure=len(trace))
+        wsrs = simulate(wsrs_config, iter(trace), measure=len(trace))
+        delta = 100.0 * (wsrs.ipc / base.ipc - 1.0) if base.ipc else 0.0
+        print(f"{name:<16s}{len(trace):>8d}{base.ipc:>10.2f}"
+              f"{wsrs.ipc:>10.2f}{delta:>+7.1f}%"
+              f"{wsrs.unbalancing_degree:>6.0f}%")
+
+    print("\nSerial kernels (reduction, pointer_chase) are insensitive to")
+    print("the organisation; dense kernels (matmul, daxpy) benefit from")
+    print("WSRS keeping dependent operations on the producing cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Visualise the pipeline: where do cycles go on each organisation?
+
+Runs a short daxpy kernel on the conventional round-robin machine and on
+the WSRS machine, prints the per-instruction timeline and ASCII execution
+chart, and compares mean wake-up/select queueing delay - making the
+bypass co-location effect of section 4.3.1 visible instruction by
+instruction.
+
+Run:  python examples/pipeline_visualizer.py
+"""
+
+from repro import baseline_rr_256, wsrs_rc
+from repro.core.debug import PipelineTracer, format_gantt, format_timeline
+from repro.core.processor import Processor
+from repro.isa.registers import isa_machine_config
+from repro.trace.microbench import microbenchmark_trace
+
+KERNEL = "daxpy"
+SHOW = 24
+
+
+def trace_machine(config, label: str) -> PipelineTracer:
+    trace = microbenchmark_trace(KERNEL, n=48)
+    tracer = PipelineTracer(Processor(isa_machine_config(config), trace))
+    tracer.run(instructions=200)
+    print(f"=== {label}")
+    print(format_timeline(tracer.records, limit=SHOW))
+    print()
+    print(format_gantt(tracer.records[:SHOW]))
+    print(f"\nmean dispatch->issue delay: "
+          f"{tracer.mean_queue_delay():.2f} cycles\n")
+    return tracer
+
+
+def main() -> None:
+    print(f"Kernel: {KERNEL} (first {SHOW} instructions shown)\n")
+    base = trace_machine(baseline_rr_256(), "conventional round-robin")
+    wsrs = trace_machine(wsrs_rc(512), "WSRS (RC policy)")
+    delta = base.mean_queue_delay() - wsrs.mean_queue_delay()
+    print(f"WSRS queueing delay vs round-robin: {-delta:+.2f} cycles "
+          f"(negative = WSRS issues sooner; dependants co-located with "
+          f"their producers skip the inter-cluster forwarding cycle)")
+
+
+if __name__ == "__main__":
+    main()

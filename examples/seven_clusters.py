@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The 7-cluster WSRS machine of the companion report, end to end.
+
+The paper's conclusion cites a companion report extending WSRS to seven
+clusters.  This example builds the Fano-plane mapping, reports its
+structural complexity next to the 4-cluster design, and then *simulates*
+it: a 14-way machine running the SPEC-shaped workloads with the
+generalised mapped-random allocation policy, read/write legality checked
+on every dispatched micro-op.
+
+Run:  python examples/seven_clusters.py
+"""
+
+from repro import simulate, spec_trace, wsrs_rc
+from repro.config import wsrs_seven_cluster
+from repro.extensions.general_wsrs import (
+    four_cluster_mapping,
+    seven_cluster_mapping,
+)
+
+MEASURE = 20_000
+WARMUP = 25_000
+BENCHMARKS = ("gzip", "wupwise", "facerec")
+
+
+def structure() -> None:
+    print("Mapping complexity")
+    print(f"{'':24s}{'4-cluster':>12s}{'7-cluster':>12s}")
+    four, seven = four_cluster_mapping(), seven_cluster_mapping()
+    rows = [
+        ("clusters monitored/op", four.wakeup_clusters_per_operand(),
+         seven.wakeup_clusters_per_operand()),
+        ("result buses/op", four.result_buses_per_operand(),
+         seven.result_buses_per_operand()),
+        ("read copies/register", four.read_copies_per_register(),
+         seven.read_copies_per_register()),
+        ("mean legal clusters", round(four.mean_choices(), 2),
+         round(seven.mean_choices(), 2)),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<24s}{a:>12}{b:>12}")
+    print()
+
+
+def performance() -> None:
+    print(f"Simulation ({WARMUP:,} warm-up + {MEASURE:,} measured)")
+    print(f"{'benchmark':<10s}{'WSRS 4C (8-way)':>17s}"
+          f"{'WSRS 7C (14-way)':>18s}{'speedup':>9s}")
+    for name in BENCHMARKS:
+        four = simulate(wsrs_rc(512), spec_trace(name, MEASURE + WARMUP
+                                                 + 8192),
+                        measure=MEASURE, warmup=WARMUP)
+        seven = simulate(wsrs_seven_cluster(),
+                         spec_trace(name, MEASURE + WARMUP + 8192),
+                         measure=MEASURE, warmup=WARMUP)
+        print(f"{name:<10s}{four.ipc:>17.2f}{seven.ipc:>18.2f}"
+              f"{seven.ipc / four.ipc:>8.2f}x")
+    print("\nThe wider machine gains where ILP is plentiful, while each")
+    print("wake-up entry still monitors only 3 clusters and each register")
+    print("needs only 3 read-specialized copies - complexity that grows")
+    print("far slower than the conventional file's (Table 1 scaling).")
+
+
+def main() -> None:
+    structure()
+    performance()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Reproduction of *Register Write Specialization / Register Read
+Specialization: A Path to Complexity-Effective Wide-Issue Superscalar
+Processors* (Seznec, Toullec, Rochecouste - MICRO-35, 2002).
+
+The package provides:
+
+* a cycle-level clustered out-of-order processor simulator
+  (:mod:`repro.core`) with conventional, write-specialized (WS) and WSRS
+  register-file organisations (:mod:`repro.rename`) and the paper's
+  cluster-allocation policies (:mod:`repro.allocation`);
+* the substrates the evaluation needs: synthetic SPEC-shaped workloads
+  (:mod:`repro.trace`), a 2Bc-gskew branch predictor
+  (:mod:`repro.frontend`), a two-level memory hierarchy
+  (:mod:`repro.memory`), and a mini-ISA with an assembler and functional
+  executor (:mod:`repro.isa`);
+* hardware cost models reproducing Table 1 (:mod:`repro.cost`);
+* experiment drivers regenerating every table and figure
+  (:mod:`repro.experiments`, also ``python -m repro``).
+
+Quick start::
+
+    from repro import simulate, wsrs_rc, spec_trace
+
+    stats = simulate(wsrs_rc(512), spec_trace("gzip", 120_000),
+                     measure=80_000, warmup=40_000)
+    print(f"IPC {stats.ipc:.2f}")
+"""
+
+from repro.config import (
+    MachineConfig,
+    baseline_rr_256,
+    config_by_name,
+    figure4_configs,
+    ws_rr,
+    wsrs_rc,
+    wsrs_rm,
+)
+from repro.core.processor import Processor, simulate
+from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.profiles import benchmark_names, get_profile, spec_trace
+from repro.trace.synthetic import SyntheticTraceGenerator, WorkloadProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "OpClass",
+    "Processor",
+    "SyntheticTraceGenerator",
+    "TraceInstruction",
+    "WorkloadProfile",
+    "baseline_rr_256",
+    "benchmark_names",
+    "config_by_name",
+    "figure4_configs",
+    "get_profile",
+    "simulate",
+    "spec_trace",
+    "ws_rr",
+    "wsrs_rc",
+    "wsrs_rm",
+    "__version__",
+]

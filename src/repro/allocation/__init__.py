@@ -1,0 +1,10 @@
+"""Cluster-allocation policies (round-robin, RM, RC, pools, ...)."""
+
+from repro.allocation.policies import (
+    Allocator,
+    legal_choices,
+    make_allocator,
+    policy_names,
+)
+
+__all__ = ["Allocator", "legal_choices", "make_allocator", "policy_names"]

@@ -1,0 +1,11 @@
+"""Workload and dataflow analyses supporting the paper's arguments."""
+
+from repro.analysis.dependence import (
+    dataflow_limits,
+    operand_profile,
+    register_lifetimes,
+)
+from repro.analysis.subset_flow import analyze_subset_flow, compare_policies
+
+__all__ = ["analyze_subset_flow", "compare_policies", "dataflow_limits",
+           "operand_profile", "register_lifetimes"]

@@ -1,0 +1,233 @@
+"""Static dataflow analysis of instruction traces.
+
+The degrees-of-freedom argument of section 3.3 rests on workload facts
+the paper asserts qualitatively: "a large fraction of the instructions
+are either monadic or noadic", many dyadic operations are commutative,
+and compilers keep invariant operands live in registers.  This module
+measures those facts on any trace:
+
+* :func:`operand_profile` - the monadic/dyadic/noadic split, the
+  commutative share of dyadic work, and the resulting average number of
+  legal WSRS clusters per instruction under the RM and RC policies;
+* :func:`dataflow_limits` - the dataflow critical path and the ideal
+  (infinite-machine) IPC, plus a producer-distance histogram - the trace
+  properties that bound what any schedule can achieve;
+* :func:`register_lifetimes` - definition-to-last-use distances, the
+  quantity register-file sizing trades against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.allocation.policies import legal_choices
+from repro.config import DEFAULT_LATENCIES
+from repro.trace.model import OpClass, TraceInstruction
+
+
+@dataclass
+class OperandProfile:
+    """Monadic/dyadic structure of a trace (section 3.3's facts)."""
+
+    instructions: int = 0
+    noadic: int = 0
+    monadic: int = 0
+    dyadic: int = 0
+    commutative_dyadic: int = 0
+    with_destination: int = 0
+    mean_choices_rm: float = 0.0
+    mean_choices_rc: float = 0.0
+
+    @property
+    def monadic_or_noadic_fraction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return (self.monadic + self.noadic) / self.instructions
+
+    @property
+    def commutative_fraction_of_dyadic(self) -> float:
+        if not self.dyadic:
+            return 0.0
+        return self.commutative_dyadic / self.dyadic
+
+
+def operand_profile(trace: Iterable[TraceInstruction],
+                    num_subsets: int = 4) -> OperandProfile:
+    """Measure the operand structure and WSRS allocation freedom.
+
+    Register subsets are tracked like the renamer's f/s vectors (each
+    register belongs to the subset of the cluster that would have
+    produced it under the fully-constrained base rule), so the
+    ``mean_choices_*`` figures reflect steady-state freedom, not the
+    initial mapping.
+    """
+    profile = OperandProfile()
+    subset_of_register: Dict[int, int] = {}
+
+    def subset_of(logical: int) -> int:
+        return subset_of_register.get(logical, logical % num_subsets)
+
+    total_rm = 0
+    total_rc = 0
+    for inst in trace:
+        profile.instructions += 1
+        if inst.is_dyadic:
+            profile.dyadic += 1
+            if inst.commutative:
+                profile.commutative_dyadic += 1
+        elif inst.is_monadic:
+            profile.monadic += 1
+        else:
+            profile.noadic += 1
+        if inst.has_dest:
+            profile.with_destination += 1
+        rm = legal_choices(inst, subset_of, allow_swap=False)
+        rc = legal_choices(inst, subset_of, allow_swap=True)
+        total_rm += len(rm)
+        total_rc += len(rc)
+        if inst.dest is not None:
+            # follow the base-rule cluster so subsets evolve plausibly
+            subset_of_register[inst.dest] = rm[0][0]
+    if profile.instructions:
+        profile.mean_choices_rm = total_rm / profile.instructions
+        profile.mean_choices_rc = total_rc / profile.instructions
+    return profile
+
+
+@dataclass
+class DataflowLimits:
+    """Machine-independent bounds implied by the trace's dataflow."""
+
+    instructions: int
+    critical_path_cycles: int
+    ideal_ipc: float
+    #: histogram of producer distances (in instructions), bucketed
+    distance_histogram: Dict[str, int] = field(default_factory=dict)
+    mean_distance: float = 0.0
+
+
+_DISTANCE_BUCKETS = ((1, "1"), (2, "2"), (4, "3-4"), (8, "5-8"),
+                     (16, "9-16"), (64, "17-64"), (1 << 60, ">64"))
+
+
+def _bucket(distance: int) -> str:
+    for limit, label in _DISTANCE_BUCKETS:
+        if distance <= limit:
+            return label
+    return ">64"
+
+
+def dataflow_limits(
+    trace: Iterable[TraceInstruction],
+    latencies: Optional[Dict[OpClass, int]] = None,
+) -> DataflowLimits:
+    """Critical path / ideal IPC of a trace, ignoring all resources."""
+    latencies = latencies or DEFAULT_LATENCIES
+    ready_at: Dict[int, int] = {}
+    produced_at: Dict[int, int] = {}
+    histogram: Counter = Counter()
+    critical = 0
+    count = 0
+    distance_sum = 0
+    distance_count = 0
+    for index, inst in enumerate(trace):
+        start = 0
+        for source in (inst.src1, inst.src2):
+            if source is None:
+                continue
+            start = max(start, ready_at.get(source, 0))
+            producer = produced_at.get(source)
+            if producer is not None:
+                distance = index - producer
+                histogram[_bucket(distance)] += 1
+                distance_sum += distance
+                distance_count += 1
+        done = start + latencies[inst.op]
+        if inst.dest is not None:
+            ready_at[inst.dest] = done
+            produced_at[inst.dest] = index
+        critical = max(critical, done)
+        count += 1
+    return DataflowLimits(
+        instructions=count,
+        critical_path_cycles=critical,
+        ideal_ipc=(count / critical) if critical else 0.0,
+        distance_histogram=dict(histogram),
+        mean_distance=(distance_sum / distance_count)
+        if distance_count else 0.0,
+    )
+
+
+@dataclass
+class LifetimeStats:
+    """Register definition-to-last-use statistics."""
+
+    definitions: int
+    mean_lifetime: float
+    max_lifetime: int
+    never_read_fraction: float
+
+
+def register_lifetimes(trace: Iterable[TraceInstruction]) -> LifetimeStats:
+    """Definition-to-last-use distances (in instructions).
+
+    'Many physical registers are not even ever read since they are used
+    only once and captured through the bypass network' (section 6,
+    discussing register caches) - this measures that phenomenon on our
+    traces.
+    """
+    defined_at: Dict[int, int] = {}
+    last_use: Dict[int, int] = {}
+    read_count: Dict[int, int] = {}
+    lifetimes: List[int] = []
+    never_read = 0
+
+    def close_definition(register: int) -> None:
+        nonlocal never_read
+        start = defined_at.pop(register)
+        if read_count.get(register, 0):
+            lifetimes.append(last_use[register] - start)
+        else:
+            never_read += 1
+        read_count.pop(register, None)
+        last_use.pop(register, None)
+
+    for index, inst in enumerate(trace):
+        for source in (inst.src1, inst.src2):
+            if source is not None and source in defined_at:
+                last_use[source] = index
+                read_count[source] = read_count.get(source, 0) + 1
+        if inst.dest is not None:
+            if inst.dest in defined_at:
+                close_definition(inst.dest)
+            defined_at[inst.dest] = index
+    for register in list(defined_at):
+        close_definition(register)
+
+    definitions = len(lifetimes) + never_read
+    return LifetimeStats(
+        definitions=definitions,
+        mean_lifetime=(sum(lifetimes) / len(lifetimes))
+        if lifetimes else 0.0,
+        max_lifetime=max(lifetimes, default=0),
+        never_read_fraction=(never_read / definitions)
+        if definitions else 0.0,
+    )
+
+
+def format_profile(profile: OperandProfile) -> str:
+    """Readable one-block summary of an operand profile."""
+    total = max(profile.instructions, 1)
+    return "\n".join([
+        f"instructions          {profile.instructions}",
+        f"noadic                {profile.noadic / total:7.1%}",
+        f"monadic               {profile.monadic / total:7.1%}",
+        f"dyadic                {profile.dyadic / total:7.1%}"
+        f"  (commutative {profile.commutative_fraction_of_dyadic:.1%})",
+        f"monadic-or-noadic     "
+        f"{profile.monadic_or_noadic_fraction:7.1%}",
+        f"mean legal clusters   RM {profile.mean_choices_rm:.2f} / "
+        f"RC {profile.mean_choices_rc:.2f}",
+    ])

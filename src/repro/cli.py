@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro`` or the ``wsrs`` script.
+
+Subcommands map one-to-one onto the paper's evaluation artifacts::
+
+    wsrs table1                    # register-file complexity (Table 1)
+    wsrs figure4 [--measure N]     # IPC across configurations (Figure 4)
+    wsrs figure5 [--measure N]     # unbalancing degrees (Figure 5)
+    wsrs ablations                 # the DESIGN.md ablation panel
+    wsrs simulate gzip --config "WSRS RC S 512"   # one run, full stats
+    wsrs profiles                  # list the benchmark profiles
+    wsrs analyze mcf               # dataflow / operand-structure analysis
+    wsrs sensitivity               # penalty/memory/width/predictor sweeps
+    wsrs microbench                # run the assembly kernels
+    wsrs savetrace gzip out.trace  # freeze a workload to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import config_by_name, figure4_configs
+from repro.trace.profiles import ALL_BENCHMARKS, PROFILES
+
+
+def _add_slice_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--measure", type=int, default=100_000,
+                        help="measured slice length in instructions")
+    parser.add_argument("--warmup", type=int, default=120_000,
+                        help="cache/predictor warm-up instructions")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload generator seed")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        metavar="NAME",
+                        help="subset of benchmarks (default: all twelve)")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    comparison = table1.run(print_table=True)
+    return 0 if comparison.ok else 1
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.experiments import figure4
+
+    report = figure4.run(measure=args.measure, warmup=args.warmup,
+                         benchmarks=args.benchmarks, seed=args.seed)
+    return 0 if report.ok else 1
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.experiments import figure5
+
+    report = figure5.run(measure=args.measure, warmup=args.warmup,
+                         benchmarks=args.benchmarks, seed=args.seed)
+    return 0 if report.ok else 1
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    benchmarks = args.benchmarks or list(ablations.DEFAULT_BENCHMARKS)
+    ablations.run_all(benchmarks, measure=args.measure, warmup=args.warmup)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import RunSpec, execute
+
+    config = config_by_name(args.config)
+    spec = RunSpec(config=config, benchmark=args.benchmark,
+                   measure=args.measure, warmup=args.warmup,
+                   seed=args.seed)
+    result = execute(spec)
+    stats = result.stats
+    print(f"benchmark        {args.benchmark}")
+    print(f"configuration    {config.name}")
+    print(f"IPC              {stats.ipc:.3f}")
+    print(f"cycles           {stats.cycles}")
+    print(f"committed        {stats.committed}")
+    print(f"mispredict rate  {stats.misprediction_rate:.4f}")
+    print(f"unbalancing      {stats.unbalancing_degree:.1f}%")
+    shares = "/".join(f"{share:.2f}" for share in stats.workload_shares)
+    print(f"cluster shares   {shares}")
+    for key, value in stats.summary().items():
+        if key not in ("cycles", "committed", "ipc", "misprediction_rate",
+                       "unbalancing_degree"):
+            print(f"{key:<16s} {value}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.dependence import (
+        dataflow_limits,
+        format_profile,
+        operand_profile,
+        register_lifetimes,
+    )
+    from repro.analysis.subset_flow import analyze_subset_flow
+    from repro.trace.profiles import spec_trace
+
+    count = args.measure
+    print(f"Workload analysis: {args.benchmark} "
+          f"({count:,} instructions)\n")
+    print(format_profile(operand_profile(
+        spec_trace(args.benchmark, count, seed=args.seed))))
+    limits = dataflow_limits(
+        spec_trace(args.benchmark, count, seed=args.seed))
+    print(f"dataflow critical path {limits.critical_path_cycles} cycles"
+          f"  ->  ideal IPC {limits.ideal_ipc:.1f}")
+    print(f"mean producer distance {limits.mean_distance:.1f} "
+          f"instructions; histogram {limits.distance_histogram}")
+    lifetimes = register_lifetimes(
+        spec_trace(args.benchmark, count, seed=args.seed))
+    print(f"register lifetimes: mean {lifetimes.mean_lifetime:.1f}, "
+          f"never-read {lifetimes.never_read_fraction:.1%}")
+    for policy in ("random_monadic", "random_commutative"):
+        report = analyze_subset_flow(
+            spec_trace(args.benchmark, count, seed=args.seed), policy)
+        print(f"{policy:<20s} mean cluster run "
+              f"{report.mean_cluster_run:.2f}, f-run "
+              f"{report.mean_f_run:.2f}, swapped "
+              f"{report.swapped_fraction:.1%}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments import sensitivity
+
+    benchmark = (args.benchmarks or ["gzip"])[0]
+    sensitivity.run_all(benchmark, measure=args.measure,
+                        warmup=args.warmup)
+    return 0
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    from repro.core.processor import simulate
+    from repro.isa.registers import isa_machine_config
+    from repro.trace.microbench import (
+        microbenchmark_names,
+        microbenchmark_trace,
+    )
+
+    config = isa_machine_config(config_by_name(args.config))
+    print(f"configuration: {config.name} (SimISA register counts)")
+    print(f"{'kernel':<16s}{'insts':>8s}{'IPC':>8s}{'unbal':>8s}")
+    for name in microbenchmark_names():
+        trace = list(microbenchmark_trace(name))
+        stats = simulate(config, iter(trace), measure=len(trace))
+        print(f"{name:<16s}{len(trace):>8d}{stats.ipc:>8.2f}"
+              f"{stats.unbalancing_degree:>7.0f}%")
+    return 0
+
+
+def _cmd_savetrace(args: argparse.Namespace) -> int:
+    from repro.trace.profiles import spec_trace
+    from repro.trace.serialization import save_trace
+
+    count = save_trace(
+        spec_trace(args.benchmark, args.measure, seed=args.seed),
+        args.output)
+    print(f"wrote {count} instructions to {args.output}")
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    print(f"{'name':<10s}{'suite':<7s}description")
+    for name in ALL_BENCHMARKS:
+        profile = PROFILES[name]
+        print(f"{name:<10s}{profile.kind:<7s}{profile.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wsrs",
+        description="Reproduction of 'Register Write Specialization / "
+                    "Register Read Specialization' (MICRO-35, 2002)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
+        func=_cmd_table1)
+
+    p4 = sub.add_parser("figure4", help="regenerate Figure 4 (IPC)")
+    _add_slice_arguments(p4)
+    p4.set_defaults(func=_cmd_figure4)
+
+    p5 = sub.add_parser("figure5", help="regenerate Figure 5 (unbalance)")
+    _add_slice_arguments(p5)
+    p5.set_defaults(func=_cmd_figure5)
+
+    pa = sub.add_parser("ablations", help="run the ablation panel")
+    _add_slice_arguments(pa)
+    pa.set_defaults(func=_cmd_ablations)
+
+    ps = sub.add_parser("simulate", help="run one (benchmark, config)")
+    ps.add_argument("benchmark", choices=sorted(PROFILES))
+    ps.add_argument("--config", default="RR 256",
+                    choices=[c.name for c in figure4_configs()])
+    _add_slice_arguments(ps)
+    ps.set_defaults(func=_cmd_simulate)
+
+    sub.add_parser("profiles", help="list benchmark profiles").set_defaults(
+        func=_cmd_profiles)
+
+    pn = sub.add_parser("analyze", help="dataflow analysis of a workload")
+    pn.add_argument("benchmark", choices=sorted(PROFILES))
+    pn.add_argument("--measure", type=int, default=20_000)
+    pn.add_argument("--seed", type=int, default=1)
+    pn.set_defaults(func=_cmd_analyze)
+
+    pv = sub.add_parser("sensitivity", help="sensitivity sweeps")
+    _add_slice_arguments(pv)
+    pv.set_defaults(func=_cmd_sensitivity)
+
+    pm = sub.add_parser("microbench", help="run the assembly kernels")
+    pm.add_argument("--config", default="RR 256",
+                    choices=[c.name for c in figure4_configs()])
+    pm.set_defaults(func=_cmd_microbench)
+
+    pt = sub.add_parser("savetrace", help="freeze a workload to a file")
+    pt.add_argument("benchmark", choices=sorted(PROFILES))
+    pt.add_argument("output")
+    pt.add_argument("--measure", type=int, default=100_000)
+    pt.add_argument("--seed", type=int, default=1)
+    pt.set_defaults(func=_cmd_savetrace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The cycle-level clustered out-of-order engine."""
+
+from repro.core.processor import Processor, simulate
+from repro.core.stats import SimulationStats
+
+__all__ = ["Processor", "SimulationStats", "simulate"]

@@ -1,0 +1,153 @@
+"""Cycle-by-cycle pipeline tracing for debugging and teaching.
+
+:class:`PipelineTracer` wraps a :class:`repro.core.processor.Processor`
+and records, per instruction, its dispatch / issue / completion / commit
+cycles plus the cluster that executed it.  :func:`format_timeline` renders
+the classic pipeline diagram::
+
+    seq  op      cluster  D      I      C      R
+    0    IALU    C0       0      1      2      2
+    1    LOAD    C1       0      1      3      3
+    ...
+
+and :func:`format_gantt` an ASCII occupancy chart.  Tracing costs one
+callback per pipeline event, so it is intended for short diagnostic runs,
+not for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.processor import Processor
+
+
+@dataclass
+class InstructionTimeline:
+    """Lifecycle milestones of one committed instruction."""
+
+    seq: int
+    op: str
+    cluster: int
+    dispatch: int
+    issue: int
+    complete: int
+    commit: int
+
+    @property
+    def queue_delay(self) -> int:
+        """Cycles between dispatch and issue (wake-up + select wait)."""
+        return self.issue - self.dispatch
+
+    @property
+    def latency(self) -> int:
+        return self.complete - self.issue
+
+
+class PipelineTracer:
+    """Records instruction lifecycles from a processor run.
+
+    The tracer drives the processor itself (:meth:`run`) and snapshots
+    the ROB between cycles - no processor modification needed.
+    """
+
+    def __init__(self, processor: Processor) -> None:
+        self.processor = processor
+        self.records: List[InstructionTimeline] = []
+        self._live = {}
+
+    def run(self, instructions: int, max_cycles: int = 1_000_000) -> None:
+        """Step the machine, harvesting lifecycles until ``instructions``
+        have committed (or the trace ends)."""
+        processor = self.processor
+        target = processor.stats.committed + instructions
+        for _ in range(max_cycles):
+            before = {uop.seq: uop for uop in processor._rob}
+            self._live.update(before)
+            processor.step()
+            after = {uop.seq for uop in processor._rob}
+            commit_cycle = processor.cycle - 1
+            for seq, uop in sorted(self._live.items()):
+                if seq not in after:
+                    self.records.append(InstructionTimeline(
+                        seq=seq,
+                        op=uop.inst.op.name,
+                        cluster=uop.cluster,
+                        dispatch=uop.dispatch_cycle,
+                        issue=uop.issue_cycle,
+                        complete=uop.result_cycle,
+                        commit=commit_cycle,
+                    ))
+                    del self._live[seq]
+            if processor.stats.committed >= target:
+                return
+            if processor.frontend.exhausted and not processor._rob:
+                return
+
+    # -- reporting ---------------------------------------------------------
+
+    def mean_queue_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.queue_delay for r in self.records) \
+            / len(self.records)
+
+
+def format_timeline(records: List[InstructionTimeline],
+                    limit: Optional[int] = None) -> str:
+    """The per-instruction milestone table."""
+    rows = records if limit is None else records[:limit]
+    lines = [f"{'seq':>5s} {'op':<8s} {'clu':>3s} {'disp':>6s} "
+             f"{'issue':>6s} {'done':>6s} {'commit':>6s} {'wait':>5s}"]
+    for record in rows:
+        lines.append(
+            f"{record.seq:>5d} {record.op:<8s} {record.cluster:>3d} "
+            f"{record.dispatch:>6d} {record.issue:>6d} "
+            f"{record.complete:>6d} {record.commit:>6d} "
+            f"{record.queue_delay:>5d}")
+    return "\n".join(lines)
+
+
+def format_gantt(records: List[InstructionTimeline], width: int = 72,
+                 limit: int = 32) -> str:
+    """ASCII execution chart: one row per instruction, ``D``ispatch,
+    ``=`` waiting, ``X`` executing, ``C`` commit."""
+    rows = records[:limit]
+    if not rows:
+        return "(no records)"
+    start = min(record.dispatch for record in rows)
+    end = max(record.commit for record in rows)
+    span = max(1, end - start + 1)
+    scale = max(1, -(-span // width))  # cycles per column, ceil
+    lines = []
+    for record in rows:
+        columns = ["."] * min(width, -(-span // scale))
+        for cycle in range(record.dispatch, record.commit + 1):
+            index = (cycle - start) // scale
+            if index >= len(columns):
+                continue
+            if cycle < record.issue:
+                mark = "="
+            elif cycle < record.complete:
+                mark = "X"
+            else:
+                mark = "c"
+            if columns[index] in (".", "="):
+                columns[index] = mark
+        first = (record.dispatch - start) // scale
+        if first < len(columns):
+            columns[first] = "D"
+        lines.append(f"{record.seq:>5d} {record.op:<8s} "
+                     f"C{record.cluster} |{''.join(columns)}|")
+    header = (f"cycles {start}..{end}  ({scale} cycle(s)/column; "
+              f"D dispatch, = wait, X execute, c complete/commit)")
+    return header + "\n" + "\n".join(lines)
+
+
+def trace_pipeline(config, trace, instructions: int = 64,
+                   ) -> PipelineTracer:
+    """Convenience: build, run and return a tracer."""
+    tracer = PipelineTracer(Processor(config, trace))
+    tracer.run(instructions)
+    return tracer

@@ -1,0 +1,122 @@
+"""Per-cluster wake-up and select machinery.
+
+Each cluster owns a :class:`ClusterScheduler`.  Dispatched micro-ops wait
+in a *pending* heap keyed by their earliest possible issue cycle (the
+wake-up result: max over operands of producer-result cycle plus the
+inter-cluster forwarding delay).  Each cycle the scheduler migrates every
+woken entry into a *ready* heap ordered by age and selects the oldest
+ready micro-ops, honouring the cluster's issue width and functional-unit
+mix (2 ALUs, 1 load/store unit, 1 FP unit - section 5.2).
+
+Micro-ops that lose selection to a structural hazard stay in the ready
+heap and compete again the next cycle, still by age - this mirrors an
+oldest-first select tree.
+
+The *timing* semantics of wake-up here are exactly the paper's: a
+micro-op's operand becomes usable on cluster ``c`` at
+``producer.result_cycle + forward_delay(producer_cluster, c)``, so a
+single-cycle producer feeds a same-cluster consumer back-to-back, while a
+cross-cluster consumer loses one cycle (the ``intra`` fast-forwarding
+policy; section 4.3.1's other policies change ``forward_delay``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.uop import InFlightUop
+from repro.trace.model import FP_CLASSES, MEMORY_CLASSES, OpClass
+
+
+class ClusterScheduler:
+    """Wake-up/select state for one cluster."""
+
+    def __init__(self, cluster_id: int, issue_width: int, num_alus: int,
+                 num_lsus: int, num_fpus: int) -> None:
+        self.cluster_id = cluster_id
+        self.issue_width = issue_width
+        self.num_alus = num_alus
+        self.num_lsus = num_lsus
+        self.num_fpus = num_fpus
+        # (earliest_issue_cycle, seq, uop) - wake-up side
+        self._pending: List[Tuple[int, int, InFlightUop]] = []
+        # (seq, uop) - ready, competing for select
+        self._ready: List[Tuple[int, InFlightUop]] = []
+        self.inflight = 0  # dispatched but not committed (window occupancy)
+
+    # -- dispatch / wake-up ------------------------------------------------
+
+    def enqueue(self, uop: InFlightUop, earliest_cycle: int) -> None:
+        """Insert a micro-op whose operands' timing is fully known."""
+        heapq.heappush(self._pending, (earliest_cycle, uop.seq, uop))
+
+    def wake(self, cycle: int) -> None:
+        """Move every entry woken by ``cycle`` to the ready heap."""
+        pending = self._pending
+        ready = self._ready
+        while pending and pending[0][0] <= cycle:
+            _, seq, uop = heapq.heappop(pending)
+            heapq.heappush(ready, (seq, uop))
+
+    # -- select -----------------------------------------------------------
+
+    def select(self, cycle: int, veto=None) -> List[InFlightUop]:
+        """Pick the oldest ready micro-ops the functional units accept.
+
+        ``veto`` is an optional predicate; micro-ops it rejects (e.g. a
+        memory operation blocked by the in-order address-computation rule,
+        or a multiply when the divider is busy) stay in the ready heap and
+        compete again next cycle without consuming an issue slot.
+        """
+        self.wake(cycle)
+        ready = self._ready
+        if not ready:
+            return []
+        picked: List[InFlightUop] = []
+        rejected: List[Tuple[int, InFlightUop]] = []
+        alus, lsus, fpus = self.num_alus, self.num_lsus, self.num_fpus
+        budget = self.issue_width
+        while ready and budget:
+            seq, uop = heapq.heappop(ready)
+            op = uop.inst.op
+            if op in MEMORY_CLASSES:
+                available = lsus
+            elif op in FP_CLASSES:
+                available = fpus
+            else:
+                available = alus
+            if not available:
+                rejected.append((seq, uop))
+                continue
+            # The veto runs last: a micro-op that passes it is
+            # definitely picked, so stateful vetoes (e.g. claiming a
+            # shared multiply/divide unit for this cycle) are sound.
+            if veto is not None and veto(uop):
+                rejected.append((seq, uop))
+                continue
+            if op in MEMORY_CLASSES:
+                lsus -= 1
+            elif op in FP_CLASSES:
+                fpus -= 1
+            else:
+                alus -= 1
+            picked.append(uop)
+            budget -= 1
+        for entry in rejected:
+            heapq.heappush(ready, entry)
+        return picked
+
+    def reinsert_ready(self, uop: InFlightUop) -> None:
+        """Return a vetoed micro-op to the ready heap (same age)."""
+        heapq.heappush(self._ready, (uop.seq, uop))
+
+    # -- occupancy ----------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Micro-ops currently waiting to issue on this cluster."""
+        return len(self._pending) + len(self._ready)
+
+    def is_empty(self) -> bool:
+        return not self._pending and not self._ready

@@ -1,0 +1,90 @@
+"""Memory ordering: in-order address computation and load bypassing.
+
+Section 5.2 of the paper: "Load/store addresses were computed in order,
+loads bypassing stores whenever no conflict was encountered."
+
+:class:`MemoryOrderQueue` enforces exactly that contract:
+
+* every memory micro-op receives a *memory index* at dispatch (its rank in
+  the program order of memory operations);
+* a memory op may issue - i.e. compute its address and access the cache -
+  only when every older memory op has issued, so addresses are produced in
+  program order;
+* a load whose address matches an *outstanding* older store (issued but
+  not yet committed) receives its data through store-to-load forwarding at
+  L1-hit latency instead of accessing the cache.
+
+Conflicts are detected at 8-byte-word granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Conflict-detection granularity (bytes).
+WORD_BYTES = 8
+
+
+class MemoryOrderQueue:
+    """Tracks memory program order and the outstanding-store buffer."""
+
+    def __init__(self) -> None:
+        self._next_index = 0
+        self._issued_upto = 0
+        # word address -> seq of the youngest outstanding store to it
+        self._store_words: Dict[int, int] = {}
+        # store seq -> word address (for commit-time removal)
+        self._store_by_seq: Dict[int, int] = {}
+
+    # -- dispatch ----------------------------------------------------------
+
+    def register(self) -> int:
+        """Assign the next memory index (call once per memory op, in
+        program order, at dispatch)."""
+        index = self._next_index
+        self._next_index += 1
+        return index
+
+    # -- issue ----------------------------------------------------------------
+
+    def can_issue(self, mem_index: int) -> bool:
+        """Whether all older memory operations have computed their
+        address."""
+        return mem_index == self._issued_upto
+
+    def issue_store(self, seq: int, addr: int, mem_index: int) -> None:
+        """A store computes its address and enters the store buffer."""
+        assert mem_index == self._issued_upto
+        self._issued_upto += 1
+        word = addr // WORD_BYTES
+        self._store_words[word] = seq
+        self._store_by_seq[seq] = word
+
+    def issue_load(self, addr: int, mem_index: int) -> Optional[int]:
+        """A load computes its address.
+
+        Returns the sequence number of the youngest conflicting
+        outstanding store (the forwarding source), or ``None`` when the
+        load bypasses all stores and accesses the cache.
+        """
+        assert mem_index == self._issued_upto
+        self._issued_upto += 1
+        return self._store_words.get(addr // WORD_BYTES)
+
+    # -- commit ----------------------------------------------------------------
+
+    def commit_store(self, seq: int) -> None:
+        """Remove a committed store from the outstanding buffer."""
+        word = self._store_by_seq.pop(seq, None)
+        if word is not None and self._store_words.get(word) == seq:
+            del self._store_words[word]
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def outstanding_stores(self) -> int:
+        return len(self._store_by_seq)
+
+    @property
+    def issued_memory_ops(self) -> int:
+        return self._issued_upto

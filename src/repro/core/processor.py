@@ -1,0 +1,468 @@
+"""The cycle-level clustered out-of-order processor model.
+
+This is the simulator behind section 5 of the paper: an 8-way machine made
+of four identical 2-way clusters (2 ALUs + 1 load/store unit + 1 FP unit
+each, up to 56 in-flight instructions per cluster), with
+
+* an idealised front end delivering 8 instructions/cycle to rename
+  (:mod:`repro.frontend.fetch`), realistic 2Bc-gskew direction prediction
+  and a *minimum misprediction penalty* per configuration (17 cycles for
+  the conventional machine, 16 with write specialization alone, 16/18 for
+  WSRS renaming implementations 1/2);
+* cluster allocation **before** renaming (round-robin, RM or RC -
+  :mod:`repro.allocation.policies`), with the allocation decision made
+  once per instruction and kept across stall cycles;
+* register renaming with optional write specialization
+  (:mod:`repro.rename.renamer`), separate integer/FP physical files;
+* per-cluster wake-up/select with oldest-first selection
+  (:mod:`repro.core.issue_queue`), free intra-cluster fast-forwarding and
+  a one-cycle inter-cluster forwarding delay (configurable - the
+  fast-forwarding policies of section 4.3.1);
+* Table 2 latencies, in-order address computation with conflict-checked
+  load bypassing (:mod:`repro.core.lsq`), and the Table 3 memory
+  hierarchy (:mod:`repro.memory.hierarchy`);
+* in-order commit (8 wide) releasing previous physical mappings.
+
+Wrong-path instructions are not simulated: a mispredicted branch stops
+instruction delivery until ``resolution_cycle + minimum_penalty``, which is
+the paper's own level of abstraction for the front end.
+
+Typical use::
+
+    from repro.config import wsrs_rc
+    from repro.core.processor import Processor
+    from repro.trace.profiles import spec_trace
+
+    proc = Processor(wsrs_rc(512), spec_trace("gzip", 200_000))
+    stats = proc.run(warmup=50_000, measure=100_000)
+    print(stats.ipc, stats.unbalancing_degree)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.allocation.policies import make_allocator
+from repro.config import MachineConfig
+from repro.core.issue_queue import ClusterScheduler
+from repro.core.lsq import MemoryOrderQueue
+from repro.core.stats import SimulationStats
+from repro.core.uop import UNKNOWN_CYCLE, InFlightUop
+from repro.errors import ConfigError, ReproError
+from repro.frontend.fetch import FrontEnd
+from repro.frontend.predictors import BranchPredictor, make_predictor
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.model import OpClass, TraceInstruction
+
+#: Abort if the machine makes no forward progress for this many cycles.
+_PROGRESS_LIMIT = 100_000
+
+
+class DeadlockedPipeline(ReproError):
+    """The simulated machine stopped making forward progress."""
+
+
+class Processor:
+    """One simulated machine instance bound to one trace."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Iterable[TraceInstruction],
+        predictor: Optional[BranchPredictor] = None,
+        check_invariants: bool = True,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.check_invariants = check_invariants
+
+        self.frontend = FrontEnd(
+            trace, predictor or make_predictor("2bcgskew"))
+        from repro.rename.renamer import Renamer
+
+        self.renamer = Renamer(config)
+        self.allocator = make_allocator(
+            config.allocation_policy, config.num_clusters, config.seed)
+        if config.uses_read_specialization and not self.allocator.wsrs_legal:
+            raise ConfigError(
+                f"policy {config.allocation_policy!r} ignores the WSRS "
+                f"read constraints; use an RS-aware policy (RM, RC, ...)")
+
+        self.memory = MemoryHierarchy(config.memory)
+        self.memorder = MemoryOrderQueue()
+        cluster = config.cluster
+        self.schedulers = [
+            ClusterScheduler(i, cluster.issue_width, cluster.num_alus,
+                             cluster.num_lsus, cluster.num_fpus)
+            for i in range(config.num_clusters)
+        ]
+        self.stats = SimulationStats(config.num_clusters)
+
+        num_regs = self.renamer.total_global_registers
+        self._reg_result: List[int] = [0] * num_regs
+        self._reg_cluster: List[int] = [-1] * num_regs
+        self._reg_waiters: Dict[int, List[InFlightUop]] = {}
+
+        self._rob: Deque[InFlightUop] = deque()
+        self.cycle = 0
+        self._seq = 0
+        self._rename_blocked_until = 0
+        self._waiting_branch: Optional[InFlightUop] = None
+        self._pending_decision = None
+        self._muldiv_busy_until = [0] * config.num_clusters
+        self._muldiv_used_now: set = set()
+        self._latencies = dict(config.latencies)
+        self._wsrs_mapping = None
+        if config.uses_read_specialization:
+            from repro.extensions.general_wsrs import make_mapping
+
+            self._wsrs_mapping = make_mapping(config.num_clusters)
+        self._int_phys = config.int_physical_registers
+        self._int_subset = config.int_subset_size
+        self._fp_subset = config.fp_subset_size
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, measure: int, warmup: int = 0) -> SimulationStats:
+        """Simulate ``warmup`` then ``measure`` committed instructions.
+
+        Warm-up trains the caches and the branch predictor without
+        counting; statistics cover only the measured slice, as in the
+        paper's methodology.  The run ends early (without error) if the
+        trace is exhausted.
+        """
+        if warmup:
+            self._run_until(self.stats.committed + warmup)
+            self.stats.reset_measurement()
+        self._run_until(self.stats.committed + measure)
+        return self.stats
+
+    def _run_until(self, committed_target: int) -> None:
+        last_progress_cycle = self.cycle
+        last_committed = self.stats.committed
+        while self.stats.committed < committed_target:
+            if self.frontend.exhausted and not self._rob:
+                break
+            self.step()
+            if self.stats.committed != last_committed:
+                last_committed = self.stats.committed
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > _PROGRESS_LIMIT:
+                raise DeadlockedPipeline(
+                    f"no instruction committed for {_PROGRESS_LIMIT} "
+                    f"cycles at cycle {self.cycle}")
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        self._commit(cycle)
+        self._issue(cycle)
+        self.renamer.begin_cycle()
+        self._rename_and_dispatch(cycle)
+        self.renamer.end_cycle()
+        self.stats.cycles += 1
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        rob = self._rob
+        renamer = self.renamer
+        stats = self.stats
+        budget = self.config.commit_width
+        while budget and rob:
+            uop = rob[0]
+            if uop.result_cycle > cycle:
+                break
+            rob.popleft()
+            if uop.pdest is not None:
+                renamer.retire_write(uop.pdest)
+            if uop.pold is not None:
+                renamer.commit_free(uop.pold)
+            if uop.inst.is_store:
+                self.memorder.commit_store(uop.seq)
+            self.schedulers[uop.cluster].inflight -= 1
+            stats.committed += 1
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # issue / execute
+    # ------------------------------------------------------------------
+
+    def _muldiv_unit(self, cluster: int) -> int:
+        """Index of the multiply/divide unit serving ``cluster``.
+
+        Section 4.1: as an alternative to replicating dividers on every
+        cluster, "a divider can be shared among two adjacent clusters"
+        with static arbitration; ``shared_muldiv`` models that sharing.
+        """
+        if self.config.shared_muldiv:
+            return cluster // 2
+        return cluster
+
+    def _veto(self, uop: InFlightUop) -> bool:
+        """Selection veto: memory-order and multiply/divide hazards."""
+        if uop.mem_index >= 0:
+            return not self.memorder.can_issue(uop.mem_index)
+        if uop.inst.op == OpClass.IMULDIV:
+            config = self.config
+            if not config.pipelined_muldiv or config.shared_muldiv:
+                unit = self._muldiv_unit(uop.cluster)
+                if unit in self._muldiv_used_now \
+                        or self._muldiv_busy_until[unit] > self.cycle:
+                    return True
+                # Passing the veto means the scheduler will issue this
+                # micro-op, so claim the unit for the rest of the cycle.
+                self._muldiv_used_now.add(unit)
+        return False
+
+    def _issue(self, cycle: int) -> None:
+        veto = self._veto
+        self._muldiv_used_now.clear()
+        for scheduler in self.schedulers:
+            for uop in scheduler.select(cycle, veto):
+                self._start_execution(uop, cycle)
+
+    def _start_execution(self, uop: InFlightUop, cycle: int) -> None:
+        inst = uop.inst
+        stats = self.stats
+        latency = self._latencies[inst.op]
+
+        if inst.is_load:
+            forwarded_from = self.memorder.issue_load(inst.addr,
+                                                      uop.mem_index)
+            if forwarded_from is not None:
+                latency = self.config.memory.l1.hit_latency
+                stats.store_forwards += 1
+            else:
+                result = self.memory.access(inst.addr, cycle)
+                latency = result.latency
+                if not result.l1_hit:
+                    stats.l1_misses += 1
+                    if not result.l2_hit:
+                        stats.l2_misses += 1
+            stats.loads += 1
+        elif inst.is_store:
+            self.memorder.issue_store(uop.seq, inst.addr, uop.mem_index)
+            result = self.memory.access(inst.addr, cycle, is_store=True)
+            if not result.l1_hit:
+                stats.l1_misses += 1
+                if not result.l2_hit:
+                    stats.l2_misses += 1
+            stats.stores += 1
+
+        uop.issue_cycle = cycle
+        result_cycle = cycle + latency
+        uop.result_cycle = result_cycle
+        if inst.op == OpClass.IMULDIV:
+            if not self.config.pipelined_muldiv:
+                # non-pipelined: the unit is busy for the whole operation
+                self._muldiv_busy_until[self._muldiv_unit(uop.cluster)] = \
+                    result_cycle
+            elif self.config.shared_muldiv:
+                # pipelined but shared: the pair's unit accepts one
+                # operation per cycle
+                self._muldiv_busy_until[self._muldiv_unit(uop.cluster)] = \
+                    cycle + 1
+        stats.issued += 1
+        stats.cluster_issued[uop.cluster] += 1
+
+        pdest = uop.pdest
+        if pdest is not None:
+            self._reg_result[pdest] = result_cycle
+            waiters = self._reg_waiters.pop(pdest, None)
+            if waiters:
+                producer_cluster = uop.cluster
+                forward_delay = self.config.forward_delay
+                for waiter in waiters:
+                    if waiter.cluster == producer_cluster:
+                        stats.bypass_edges_intra += 1
+                    else:
+                        stats.bypass_edges_inter += 1
+                    usable = (result_cycle
+                              + forward_delay(producer_cluster,
+                                              waiter.cluster))
+                    if usable > waiter.earliest_issue:
+                        waiter.earliest_issue = usable
+                    waiter.waiting_operands -= 1
+                    if not waiter.waiting_operands:
+                        self.schedulers[waiter.cluster].enqueue(
+                            waiter, waiter.earliest_issue)
+
+        if uop.mispredicted:
+            self._rename_blocked_until = (result_cycle
+                                          + self.config.mispredict_penalty)
+            if self._waiting_branch is uop:
+                self._waiting_branch = None
+
+    # ------------------------------------------------------------------
+    # rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _rename_and_dispatch(self, cycle: int) -> None:
+        stats = self.stats
+        config = self.config
+        renamer = self.renamer
+        rob = self._rob
+        schedulers = self.schedulers
+        subset_of = renamer.subset_of_logical
+        cap = config.cluster.max_inflight
+        budget = config.front_width
+
+        while budget:
+            if self._waiting_branch is not None \
+                    or cycle < self._rename_blocked_until:
+                stats.stall_branch_penalty += budget
+                return
+            if len(rob) >= config.rob_size:
+                stats.stall_rob_full += budget
+                return
+            fetched = self.frontend.peek()
+            if fetched is None:
+                return
+            inst = fetched.inst
+
+            # The allocation decision is made once and survives stall
+            # retries (a re-draw would quietly rebalance the workload).
+            if self._pending_decision is None:
+                occupancy = [s.inflight for s in schedulers]
+                self._pending_decision = self.allocator.allocate(
+                    inst, subset_of, occupancy)
+            cluster, swapped = self._pending_decision
+
+            if schedulers[cluster].inflight >= cap:
+                stats.stall_cluster_full += budget
+                return
+            moves_before = renamer.deadlock_moves
+            if not renamer.can_rename(inst.dest, cluster):
+                stats.stall_no_register += budget
+                return
+            # Deadlock-breaking moves consume front-end slots.
+            budget -= min(budget - 1,
+                          renamer.deadlock_moves - moves_before)
+
+            self.frontend.pop()
+            self._pending_decision = None
+            psrc1, psrc2, pdest, pold = renamer.rename(inst, cluster)
+            stats.deadlock_moves = renamer.deadlock_moves
+
+            seq = self._seq
+            self._seq = seq + 1
+            mem_index = (self.memorder.register()
+                         if inst.is_memory else -1)
+            uop = InFlightUop(
+                seq, inst, cluster, swapped, psrc1, psrc2, pdest, pold,
+                dispatch_cycle=cycle, mispredicted=fetched.mispredicted,
+                mem_index=mem_index)
+
+            if pdest is not None:
+                self._reg_result[pdest] = UNKNOWN_CYCLE
+                self._reg_cluster[pdest] = cluster
+
+            self._compute_wakeup(uop, cycle)
+            if self.check_invariants and config.uses_read_specialization:
+                self._check_read_legality(uop)
+
+            rob.append(uop)
+            schedulers[cluster].inflight += 1
+            stats.dispatched += 1
+            stats.record_allocation(cluster, swapped)
+            if inst.is_branch:
+                stats.branches += 1
+                if fetched.mispredicted:
+                    stats.mispredictions += 1
+                    self._waiting_branch = uop
+            budget -= 1
+            if fetched.mispredicted:
+                return  # nothing younger is delivered until resolution
+
+    def _compute_wakeup(self, uop: InFlightUop, cycle: int) -> None:
+        """Fill in the earliest issue cycle or register operand waiters."""
+        reg_result = self._reg_result
+        reg_cluster = self._reg_cluster
+        forward_delay = self.config.forward_delay
+        earliest = cycle + 1
+        waiting = 0
+        for psrc in (uop.psrc1, uop.psrc2):
+            if psrc is None:
+                continue
+            result_cycle = reg_result[psrc]
+            if result_cycle == UNKNOWN_CYCLE:
+                waiting += 1
+                self._reg_waiters.setdefault(psrc, []).append(uop)
+            else:
+                usable = result_cycle + forward_delay(reg_cluster[psrc],
+                                                      uop.cluster)
+                if usable > earliest:
+                    earliest = usable
+        uop.earliest_issue = earliest
+        uop.waiting_operands = waiting
+        if not waiting:
+            self.schedulers[uop.cluster].enqueue(uop, earliest)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def _subset_of_physical(self, preg: int) -> int:
+        if preg < self._int_phys:
+            return preg // self._int_subset
+        return (preg - self._int_phys) // self._fp_subset
+
+    def _check_read_legality(self, uop: InFlightUop) -> None:
+        """Assert the WSRS read/write constraints.
+
+        For the 4-cluster machine this is Figure 3's rule (the first
+        operand port of cluster ``C(f, s)`` only reads subsets with the
+        same top/bottom bit ``f``, the second port only subsets with the
+        same left/right bit ``s``); other cluster counts check against the
+        generalised mapping of :mod:`repro.extensions.general_wsrs`.
+        """
+        first = uop.first_port_operand
+        second = uop.second_port_operand
+        cluster = uop.cluster
+        first_subset = (self._subset_of_physical(first)
+                        if first is not None else None)
+        second_subset = (self._subset_of_physical(second)
+                         if second is not None else None)
+        if not self._wsrs_mapping.legal(cluster, first_subset,
+                                        second_subset):
+            raise ReproError(
+                f"WSRS violation: uop #{uop.seq} reads subsets "
+                f"({first_subset}, {second_subset}) on cluster {cluster}")
+        if uop.pdest is not None \
+                and self._subset_of_physical(uop.pdest) != cluster:
+            raise ReproError(
+                f"write-specialization violation: uop #{uop.seq} result "
+                f"in subset {self._subset_of_physical(uop.pdest)} from "
+                f"cluster {cluster}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rob_occupancy(self) -> int:
+        return len(self._rob)
+
+    def cluster_occupancies(self) -> List[int]:
+        return [scheduler.inflight for scheduler in self.schedulers]
+
+
+def simulate(
+    config: MachineConfig,
+    trace: Iterable[TraceInstruction],
+    measure: int,
+    warmup: int = 0,
+    predictor: Optional[BranchPredictor] = None,
+    check_invariants: bool = True,
+) -> SimulationStats:
+    """One-call convenience wrapper around :class:`Processor`."""
+    processor = Processor(config, trace, predictor=predictor,
+                          check_invariants=check_invariants)
+    return processor.run(measure=measure, warmup=warmup)

@@ -1,0 +1,80 @@
+"""In-flight micro-operation record.
+
+One :class:`InFlightUop` is created at rename/dispatch for every trace
+instruction and lives until commit.  It carries the renamed (physical)
+operands, the allocation decision (cluster and operand form), and the
+timing milestones the pipeline fills in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.model import TraceInstruction
+
+#: Sentinel "not yet known" cycle (comparisons stay cheap with a huge int).
+UNKNOWN_CYCLE = 1 << 60
+
+
+class InFlightUop:
+    """A renamed instruction in flight between dispatch and commit."""
+
+    __slots__ = (
+        "seq", "inst", "cluster", "swapped",
+        "psrc1", "psrc2", "pdest", "pold",
+        "dispatch_cycle", "issue_cycle", "result_cycle",
+        "mispredicted", "mem_index", "waiting_operands", "earliest_issue",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        inst: TraceInstruction,
+        cluster: int,
+        swapped: bool,
+        psrc1: Optional[int],
+        psrc2: Optional[int],
+        pdest: Optional[int],
+        pold: Optional[int],
+        dispatch_cycle: int,
+        mispredicted: bool = False,
+        mem_index: int = -1,
+    ) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.cluster = cluster
+        self.swapped = swapped
+        self.psrc1 = psrc1
+        self.psrc2 = psrc2
+        self.pdest = pdest
+        self.pold = pold
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycle = UNKNOWN_CYCLE
+        self.result_cycle = UNKNOWN_CYCLE
+        self.mispredicted = mispredicted
+        self.mem_index = mem_index
+        self.waiting_operands = 0
+        self.earliest_issue = dispatch_cycle + 1
+
+    @property
+    def issued(self) -> bool:
+        return self.issue_cycle != UNKNOWN_CYCLE
+
+    def completed_by(self, cycle: int) -> bool:
+        """Whether the result is available at ``cycle`` (commit check)."""
+        return self.result_cycle <= cycle
+
+    @property
+    def first_port_operand(self) -> Optional[int]:
+        """Physical register feeding the first (left) operand port."""
+        return self.psrc2 if self.swapped else self.psrc1
+
+    @property
+    def second_port_operand(self) -> Optional[int]:
+        """Physical register feeding the second (right) operand port."""
+        return self.psrc1 if self.swapped else self.psrc2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<uop #{self.seq} {self.inst.op.name} C{self.cluster}"
+                f"{' swapped' if self.swapped else ''}"
+                f" d={self.pdest} s=({self.psrc1},{self.psrc2})>")

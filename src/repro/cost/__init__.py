@@ -1,0 +1,23 @@
+"""Hardware complexity models behind Table 1."""
+
+from repro.cost.area import area_ratio, bit_area, cell_area
+from repro.cost.cacti import (
+    access_time_ns,
+    energy_nj_per_cycle,
+    pipeline_depth,
+)
+from repro.cost.complexity import bypass_sources, wakeup_comparators
+from repro.cost.report import build_table1, format_table1
+
+__all__ = [
+    "access_time_ns",
+    "area_ratio",
+    "bit_area",
+    "build_table1",
+    "bypass_sources",
+    "cell_area",
+    "energy_nj_per_cycle",
+    "format_table1",
+    "pipeline_depth",
+    "wakeup_comparators",
+]

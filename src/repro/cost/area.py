@@ -1,0 +1,66 @@
+"""Silicon-area model for multiported register files.
+
+Section 4.2.1 of the paper: the footprint of a multiported register file is
+dominated by its memory cells [Zyuban-Kogge], and a cell crossed by
+``Nread`` read ports and ``Nwrite`` write ports needs ``Nread + Nwrite``
+horizontal wires (wordlines) and ``Nread + 2*Nwrite`` vertical wires
+(single-ended read bitlines, differential write bitlines).  With ``w`` the
+wire pitch, the paper's Formula 1 gives the cell area:
+
+    area = w^2 * (Nread + Nwrite) * (Nread + 2*Nwrite)
+
+All areas here are expressed in units of ``w^2`` exactly as the "Reg. bit
+area" row of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CostModelError
+
+
+def cell_area(read_ports: int, write_ports: int) -> int:
+    """Formula 1: area of one register-cell copy, in units of w^2."""
+    if read_ports < 0 or write_ports < 0:
+        raise CostModelError("port counts must be non-negative")
+    if read_ports + write_ports == 0:
+        raise CostModelError("a register cell needs at least one port")
+    return (read_ports + write_ports) * (read_ports + 2 * write_ports)
+
+
+def bit_area(read_ports: int, write_ports: int, copies: int) -> int:
+    """Area of one *architecturally single* register bit, in w^2.
+
+    A clustered organisation replicates each register into ``copies``
+    physical cells; the paper's "Reg. bit area" row is the sum over the
+    copies.
+    """
+    if copies < 1:
+        raise CostModelError("a register needs at least one copy")
+    return copies * cell_area(read_ports, write_ports)
+
+
+def register_file_area(num_registers: int, read_ports: int,
+                       write_ports: int, copies: int,
+                       width_bits: int = 64) -> int:
+    """Total cell area of the register file, in w^2."""
+    if num_registers < 1:
+        raise CostModelError("register file needs at least one register")
+    return (num_registers * width_bits
+            * bit_area(read_ports, write_ports, copies))
+
+
+def area_ratio(num_registers: int, read_ports: int, write_ports: int,
+               copies: int, *, reference_registers: int = 128,
+               reference_read_ports: int = 4, reference_write_ports: int = 6,
+               reference_copies: int = 2) -> float:
+    """Total area relative to a reference organisation.
+
+    The reference defaults to the paper's yardstick: the 2-cluster 4-way
+    ``noWS-2`` machine (128 registers, two (4R, 6W) copies), so the value
+    reproduces the ``total area / area noWS-2`` row of Table 1.
+    """
+    own = register_file_area(num_registers, read_ports, write_ports, copies)
+    reference = register_file_area(
+        reference_registers, reference_read_ports, reference_write_ports,
+        reference_copies)
+    return own / reference

@@ -1,0 +1,113 @@
+"""Register-file access-time and energy model (CACTI-2.0 substitute).
+
+The paper evaluates access time and peak power of the candidate register
+files with a modified CACTI 2.0 at a 0.10 um / 10 GHz design point.
+CACTI itself (a C program, with the authors' private modifications for
+write specialization) is not reproducible here, so this module provides an
+analytic surrogate with the same structure - delay and energy expressed as
+sums of port-count- and size-dependent wire/decoder terms - whose
+coefficients are **calibrated by least squares against the five published
+(configuration, value) points of Table 1**:
+
+===========  ========  =====  =====  =====  ==========  ========
+config       entries    Nr     Nw    banks  access(ns)  nJ/cycle
+===========  ========  =====  =====  =====  ==========  ========
+noWS-M       256       16     12     1      0.71        3.20
+noWS-D       256        4     12     4      0.52        2.90
+WS           512        4      3     4      0.40        1.70
+WSRS         256        4      3     4      0.35        1.25
+noWS-2       128        4      6     2      0.34        0.63
+===========  ========  =====  =====  =====  ==========  ========
+
+(``entries`` is the register count held by one physical bank: the
+distributed organisations replicate registers across per-cluster banks.)
+
+The fitted surrogate reproduces all five access times within 0.015 ns and
+all five energies within 0.12 nJ, and - crucially - reproduces *exactly*
+the register-read pipeline depths of Table 1 at both 10 GHz and 5 GHz
+when combined with :func:`pipeline_depth`.  Between-point behaviour
+follows the same monotone trends as CACTI (more ports => larger cells =>
+longer wires => slower, hungrier).
+
+Delay model (ns)::
+
+    t = T_BASE + T_WORDLINE * (Nr + 2*Nw) / 100
+              + T_BITLINE  * entries * (Nr + Nw) / 10000
+
+``Nr + 2*Nw`` is the cell width in wire pitches (wordline length per bit)
+and ``entries * (Nr + Nw)`` the bitline length in wire pitches.
+
+Energy model (nJ/cycle, all ports of all banks switching - peak)::
+
+    e = banks * ( E_BITLINE * P^3 * entries / 1e5
+                + E_WORDLINE * P * (Nr + 2*Nw) / 100
+                + E_STATIC )                    with P = Nr + Nw
+
+The middle coefficient of the energy fit comes out negative; the model is
+a calibrated surrogate, not a transistor-level account - the negative term
+absorbs the economies CACTI attributes to narrower sub-banks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CostModelError
+
+# Least-squares calibration against Table 1 (see module docstring and
+# tests/test_cost_cacti.py, which re-derives these from the published
+# points).
+T_BASE = 0.21230943
+T_WORDLINE = 0.52410107
+T_BITLINE = 0.39809585
+
+E_BITLINE = 0.06331818
+E_WORDLINE = -0.06014412
+E_STATIC = 0.32835195
+
+
+def _check(entries: int, read_ports: int, write_ports: int) -> None:
+    if entries < 1:
+        raise CostModelError("bank needs at least one register")
+    if read_ports < 1 or write_ports < 0:
+        raise CostModelError("bank needs >= 1 read port, >= 0 write ports")
+
+
+def access_time_ns(entries: int, read_ports: int, write_ports: int) -> float:
+    """Read access time of one register bank, in nanoseconds."""
+    _check(entries, read_ports, write_ports)
+    wordline = (read_ports + 2 * write_ports) / 100.0
+    bitline = entries * (read_ports + write_ports) / 10000.0
+    return T_BASE + T_WORDLINE * wordline + T_BITLINE * bitline
+
+
+def energy_nj_per_cycle(entries: int, read_ports: int, write_ports: int,
+                        banks: int = 1) -> float:
+    """Peak energy of the whole register file, in nJ per cycle.
+
+    All ports of all ``banks`` are assumed active, matching the peak-power
+    methodology of the paper.
+    """
+    _check(entries, read_ports, write_ports)
+    if banks < 1:
+        raise CostModelError("need at least one bank")
+    ports = read_ports + write_ports
+    bitline = ports ** 3 * entries / 1e5
+    wordline = ports * (read_ports + 2 * write_ports) / 100.0
+    per_bank = (E_BITLINE * bitline + E_WORDLINE * wordline + E_STATIC)
+    return banks * per_bank
+
+
+def pipeline_depth(access_ns: float, clock_ghz: float) -> int:
+    """Register-read pipeline stages at a given clock.
+
+    The paper assumes "an extra half cycle in order to drive the data to
+    the functional units", so the stage count is
+    ``ceil(access_time / period + 0.5)``.  This rule, fed with the
+    calibrated access times, reproduces every pipeline-depth cell of
+    Table 1 at both 10 GHz and 5 GHz.
+    """
+    if access_ns <= 0 or clock_ghz <= 0:
+        raise CostModelError("access time and clock must be positive")
+    period_ns = 1.0 / clock_ghz
+    return math.ceil(access_ns / period_ns + 0.5)

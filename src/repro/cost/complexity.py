@@ -1,0 +1,67 @@
+"""Bypass-network and wake-up-logic complexity accounting.
+
+Section 4.3 of the paper quantifies two per-entry complexities:
+
+* **Bypass point sources** - with a register read-write pipeline ``X``
+  cycles deep and ``N`` functional-unit outputs able to produce a given
+  operand, up to ``X * N`` already-computed results are unreachable
+  through the register file, so (with a complete bypass network) each
+  operand's bypass point must select among ``X * N + 1`` sources (the
+  ``+ 1`` being the register-file read itself).
+
+* **Wake-up comparators** - an entry watching two register operands, each
+  producible by ``N`` sources, implements ``2 * N`` comparators.
+
+On a conventional 4-cluster 8-way machine every operand can come from all
+12 result buses (4 clusters x (2 ALUs + 1 load) results); on the 4-cluster
+WSRS machine register read specialization halves that to the 6 buses of
+one cluster pair - the same as a conventional 2-cluster 4-way machine,
+which is the headline complexity claim of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CostModelError
+
+#: Result buses per 2-way cluster: 2 ALU results + 1 load result per cycle
+#: (the EV6-style cluster of section 4).
+RESULTS_PER_CLUSTER = 3
+
+
+def result_buses(num_clusters: int,
+                 results_per_cluster: int = RESULTS_PER_CLUSTER) -> int:
+    """Total result buses of the machine."""
+    if num_clusters < 1 or results_per_cluster < 1:
+        raise CostModelError("need positive cluster/result counts")
+    return num_clusters * results_per_cluster
+
+
+def visible_result_buses(num_clusters: int, read_specialized: bool,
+                         results_per_cluster: int = RESULTS_PER_CLUSTER,
+                         ) -> int:
+    """Result buses one operand port must monitor.
+
+    Read specialization restricts each operand port of the 4-cluster WSRS
+    machine to one cluster *pair*; a conventional machine watches every
+    cluster.
+    """
+    total = result_buses(num_clusters, results_per_cluster)
+    if not read_specialized:
+        return total
+    if num_clusters % 2:
+        raise CostModelError("read specialization pairs clusters")
+    return total // 2
+
+
+def bypass_sources(pipeline_cycles: int, visible_buses: int) -> int:
+    """Sources a bypass point arbitrates: ``X * N + 1`` (section 4.3.1)."""
+    if pipeline_cycles < 1 or visible_buses < 1:
+        raise CostModelError("need positive pipeline depth and buses")
+    return pipeline_cycles * visible_buses + 1
+
+
+def wakeup_comparators(visible_buses: int, operands: int = 2) -> int:
+    """Comparators per wake-up entry (section 4.3.2): operands x N."""
+    if visible_buses < 1 or operands < 1:
+        raise CostModelError("need positive buses and operand count")
+    return operands * visible_buses

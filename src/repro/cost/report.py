@@ -1,0 +1,188 @@
+"""Table 1 of the paper: register-file complexity of five organisations.
+
+:func:`build_table1` assembles every row of the published table from the
+models in :mod:`repro.cost.area`, :mod:`repro.cost.cacti` and
+:mod:`repro.cost.complexity`, for the five organisations of section 4.2.1:
+
+* **noWS-M** - conventional 8-way, monolithic file: 256 registers, one
+  (16R, 12W) copy;
+* **noWS-D** - conventional 4-cluster 8-way, distributed file: 256
+  registers, four (4R, 12W) copies;
+* **WS** - 4-cluster 8-way with register Write Specialization: 512
+  registers, four (4R, 3W) copies;
+* **WSRS** - the 4-cluster 8-way WSRS machine: 512 registers, only *two*
+  (4R, 3W) copies (read specialization halves the read-connected copies);
+* **noWS-2** - conventional 2-cluster 4-way reference: 128 registers, two
+  (4R, 6W) copies.
+
+Bank geometry: the per-cluster banks of the clustered organisations hold a
+full copy of every architected register they serve - 256 entries for
+noWS-D, 512 for WS, and 256 for WSRS (512 registers x 2 copies spread
+over 4 banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cost.area import area_ratio, bit_area
+from repro.cost.cacti import (
+    access_time_ns,
+    energy_nj_per_cycle,
+    pipeline_depth,
+)
+from repro.cost.complexity import bypass_sources, visible_result_buses
+
+
+@dataclass(frozen=True)
+class RegisterFileOrganization:
+    """Structural description of one Table 1 column."""
+
+    name: str
+    num_registers: int
+    copies: int
+    read_ports: int
+    write_ports: int
+    subfiles: int
+    bank_entries: int
+    num_clusters: int
+    read_specialized: bool
+
+    @property
+    def ports_label(self) -> str:
+        return f"({self.read_ports},{self.write_ports})"
+
+
+#: The five organisations of Table 1, in column order.
+TABLE1_ORGANIZATIONS: Tuple[RegisterFileOrganization, ...] = (
+    RegisterFileOrganization("noWS-M", 256, 1, 16, 12, 1, 256, 4, False),
+    RegisterFileOrganization("noWS-D", 256, 4, 4, 12, 4, 256, 4, False),
+    RegisterFileOrganization("WS", 512, 4, 4, 3, 4, 512, 4, False),
+    RegisterFileOrganization("WSRS", 512, 2, 4, 3, 4, 256, 4, True),
+    RegisterFileOrganization("noWS-2", 128, 2, 4, 6, 2, 128, 2, False),
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """All derived quantities for one organisation."""
+
+    organization: RegisterFileOrganization
+    energy_nj: float
+    access_ns: float
+    pipeline_10ghz: int
+    bypass_sources_10ghz: int
+    pipeline_5ghz: int
+    bypass_sources_5ghz: int
+    bit_area: int
+    total_area_ratio: float
+
+    def as_dict(self) -> Dict[str, object]:
+        org = self.organization
+        return {
+            "config": org.name,
+            "nb of registers": org.num_registers,
+            "register copies": org.copies,
+            "(R,W) ports per copy": org.ports_label,
+            "physical subfiles": org.subfiles,
+            "nJ/cycle": round(self.energy_nj, 2),
+            "access time (ns)": round(self.access_ns, 2),
+            "pipeline cycles: 10 Ghz": self.pipeline_10ghz,
+            "sources per bypass point: 10 Ghz": self.bypass_sources_10ghz,
+            "pipeline cycles: 5 Ghz": self.pipeline_5ghz,
+            "sources per bypass point: 5 Ghz": self.bypass_sources_5ghz,
+            "reg. bit area (xw2)": self.bit_area,
+            "total area / area noWS-2": round(self.total_area_ratio, 2),
+        }
+
+
+def build_row(org: RegisterFileOrganization) -> Table1Row:
+    """Compute every Table 1 quantity for one organisation."""
+    access = access_time_ns(org.bank_entries, org.read_ports,
+                            org.write_ports)
+    energy = energy_nj_per_cycle(org.bank_entries, org.read_ports,
+                                 org.write_ports, banks=org.subfiles)
+    buses = visible_result_buses(org.num_clusters, org.read_specialized)
+    depth10 = pipeline_depth(access, 10.0)
+    depth5 = pipeline_depth(access, 5.0)
+    return Table1Row(
+        organization=org,
+        energy_nj=energy,
+        access_ns=access,
+        pipeline_10ghz=depth10,
+        bypass_sources_10ghz=bypass_sources(depth10, buses),
+        pipeline_5ghz=depth5,
+        bypass_sources_5ghz=bypass_sources(depth5, buses),
+        bit_area=bit_area(org.read_ports, org.write_ports, org.copies),
+        total_area_ratio=area_ratio(org.num_registers, org.read_ports,
+                                    org.write_ports, org.copies),
+    )
+
+
+def build_table1() -> List[Table1Row]:
+    """All five columns of Table 1."""
+    return [build_row(org) for org in TABLE1_ORGANIZATIONS]
+
+
+#: The values printed in the paper, for side-by-side comparison.
+PAPER_TABLE1: Dict[str, Dict[str, object]] = {
+    "noWS-M": {"nJ/cycle": 3.20, "access time (ns)": 0.71,
+               "pipeline cycles: 10 Ghz": 8,
+               "sources per bypass point: 10 Ghz": 97,
+               "pipeline cycles: 5 Ghz": 5,
+               "sources per bypass point: 5 Ghz": 61,
+               "reg. bit area (xw2)": 1120,
+               "total area / area noWS-2": 7.0},
+    "noWS-D": {"nJ/cycle": 2.90, "access time (ns)": 0.52,
+               "pipeline cycles: 10 Ghz": 6,
+               "sources per bypass point: 10 Ghz": 73,
+               "pipeline cycles: 5 Ghz": 4,
+               "sources per bypass point: 5 Ghz": 49,
+               "reg. bit area (xw2)": 1792,
+               "total area / area noWS-2": 11.2},
+    "WS": {"nJ/cycle": 1.70, "access time (ns)": 0.40,
+           "pipeline cycles: 10 Ghz": 5,
+           "sources per bypass point: 10 Ghz": 61,
+           "pipeline cycles: 5 Ghz": 3,
+           "sources per bypass point: 5 Ghz": 37,
+           "reg. bit area (xw2)": 280,
+           "total area / area noWS-2": 3.5},
+    "WSRS": {"nJ/cycle": 1.25, "access time (ns)": 0.35,
+             "pipeline cycles: 10 Ghz": 4,
+             "sources per bypass point: 10 Ghz": 25,
+             "pipeline cycles: 5 Ghz": 3,
+             "sources per bypass point: 5 Ghz": 19,
+             "reg. bit area (xw2)": 140,
+             "total area / area noWS-2": 1.75},
+    "noWS-2": {"nJ/cycle": 0.63, "access time (ns)": 0.34,
+               "pipeline cycles: 10 Ghz": 4,
+               "sources per bypass point: 10 Ghz": 25,
+               "pipeline cycles: 5 Ghz": 3,
+               "sources per bypass point: 5 Ghz": 19,
+               "reg. bit area (xw2)": 320,
+               "total area / area noWS-2": 1.0},
+}
+
+
+def format_table1(rows: List[Table1Row] | None = None) -> str:
+    """Human-readable rendition of Table 1 (ours next to the paper's)."""
+    rows = rows if rows is not None else build_table1()
+    keys = ["nb of registers", "register copies", "(R,W) ports per copy",
+            "physical subfiles", "nJ/cycle", "access time (ns)",
+            "pipeline cycles: 10 Ghz", "sources per bypass point: 10 Ghz",
+            "pipeline cycles: 5 Ghz", "sources per bypass point: 5 Ghz",
+            "reg. bit area (xw2)", "total area / area noWS-2"]
+    names = [row.organization.name for row in rows]
+    dicts = [row.as_dict() for row in rows]
+    width = max(len(k) for k in keys) + 2
+    lines = [" " * width + "".join(f"{n:>12s}" for n in names)]
+    for key in keys:
+        cells = "".join(f"{str(d[key]):>12s}" for d in dicts)
+        lines.append(f"{key:<{width}s}{cells}")
+        paper = [PAPER_TABLE1.get(n, {}).get(key) for n in names]
+        if any(value is not None for value in paper):
+            cells = "".join(f"{('' if v is None else str(v)):>12s}"
+                            for v in paper)
+            lines.append(f"{'  (paper)':<{width}s}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the WSRS reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An inconsistent or unsupported machine configuration was requested."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level errors (assembly, decoding, execution)."""
+
+
+class AssemblyError(IsaError):
+    """The assembler rejected a source program.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line:
+        1-based source line number, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(IsaError):
+    """The functional executor hit an illegal state (bad PC, bad access)."""
+
+
+class RenameError(ReproError):
+    """Register renaming was asked to do something impossible."""
+
+
+class FreeListUnderflow(RenameError):
+    """A free list was asked for more registers than it holds.
+
+    The renamer normally checks availability before picking; seeing this
+    exception indicates a bug in the caller, not a simulated stall.
+    """
+
+
+class RenameDeadlockError(RenameError):
+    """The deadlock of paper section 2.3 was detected.
+
+    All the physical registers of a subset are mapped to architectural
+    registers, so no instruction targeting that subset can ever be renamed
+    again.  Raised only when the deadlock policy is ``"raise"``.
+    """
+
+
+class AllocationError(ReproError):
+    """A cluster-allocation policy produced an illegal assignment."""
+
+
+class TraceError(ReproError):
+    """A trace stream is malformed or ended unexpectedly."""
+
+
+class CostModelError(ReproError):
+    """The hardware cost models were given unsupported parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver could not complete."""

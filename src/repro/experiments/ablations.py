@@ -1,0 +1,153 @@
+"""Ablation studies around the paper's design choices.
+
+Four ablations, indexed in DESIGN.md:
+
+* **A1 - physical register sweep**: extends the paper's 384-vs-512
+  observation ("increasing the total number of registers from 384 to 512
+  has a minor impact") across 320..640 for WS and WSRS.
+* **A2 - fast-forwarding policy** (section 4.3.1): intra-cluster-only
+  vs adjacent-pair vs complete fast-forwarding.
+* **A3 - renaming implementation**: implementation 1 (free-register
+  recycling pipeline, shorter front end) vs implementation 2 (exact
+  counts, longer front end) - the paper found them indistinguishable.
+* **A4 - allocation-policy panel**: RM, RC and the dependence-aware
+  future-work policy of section 5.4 on the WSRS machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import (
+    FASTFORWARD_COMPLETE,
+    FASTFORWARD_INTRA,
+    FASTFORWARD_PAIRS,
+    MachineConfig,
+    baseline_rr_256,
+    ws_rr,
+    wsrs_rc,
+    wsrs_rm,
+)
+from repro.experiments.runner import RunSpec, execute
+
+DEFAULT_BENCHMARKS = ("gzip", "wupwise")
+ABLATION_MEASURE = 60_000
+ABLATION_WARMUP = 80_000
+
+
+@dataclass
+class AblationResult:
+    """IPC (and unbalance where meaningful) for one ablation axis."""
+
+    name: str
+    #: results[benchmark][variant_label] -> IPC
+    ipc: Dict[str, Dict[str, float]]
+    unbalance: Dict[str, Dict[str, float]]
+
+
+def _run(config: MachineConfig, benchmark: str, measure: int,
+         warmup: int) -> Tuple[float, float]:
+    result = execute(RunSpec(config=config, benchmark=benchmark,
+                             measure=measure, warmup=warmup))
+    return result.ipc, result.unbalancing_degree
+
+
+def _sweep(name: str, variants: Sequence[Tuple[str, MachineConfig]],
+           benchmarks: Sequence[str], measure: int,
+           warmup: int) -> AblationResult:
+    ipc: Dict[str, Dict[str, float]] = {}
+    unbalance: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        ipc[benchmark] = {}
+        unbalance[benchmark] = {}
+        for label, config in variants:
+            value, degree = _run(config, benchmark, measure, warmup)
+            ipc[benchmark][label] = value
+            unbalance[benchmark][label] = degree
+    return AblationResult(name=name, ipc=ipc, unbalance=unbalance)
+
+
+def register_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                   totals: Sequence[int] = (320, 384, 512, 640),
+                   measure: int = ABLATION_MEASURE,
+                   warmup: int = ABLATION_WARMUP) -> AblationResult:
+    """A1: WS and WSRS IPC across physical register totals."""
+    variants: List[Tuple[str, MachineConfig]] = []
+    for total in totals:
+        variants.append((f"WS-{total}", ws_rr(total)))
+        variants.append((f"WSRS-RC-{total}", wsrs_rc(total)))
+    return _sweep("register_sweep", variants, benchmarks, measure, warmup)
+
+
+def fastforward_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                      measure: int = ABLATION_MEASURE,
+                      warmup: int = ABLATION_WARMUP) -> AblationResult:
+    """A2: the three fast-forwarding policies on base and WSRS machines."""
+    variants: List[Tuple[str, MachineConfig]] = []
+    for policy in (FASTFORWARD_INTRA, FASTFORWARD_PAIRS,
+                   FASTFORWARD_COMPLETE):
+        variants.append((f"base-{policy}",
+                         baseline_rr_256(fastforward=policy)))
+        variants.append((f"wsrs-{policy}",
+                         wsrs_rc(512, fastforward=policy)))
+    return _sweep("fastforward", variants, benchmarks, measure, warmup)
+
+
+def rename_impl_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                      measure: int = ABLATION_MEASURE,
+                      warmup: int = ABLATION_WARMUP) -> AblationResult:
+    """A3: renaming implementation 1 vs 2, for WS and WSRS machines."""
+    variants = [
+        ("WS-impl1", ws_rr(512, rename_impl=1)),
+        ("WS-impl2", ws_rr(512, rename_impl=2)),
+        ("WSRS-impl1", wsrs_rc(512, rename_impl=1)),
+        ("WSRS-impl2", wsrs_rc(512, rename_impl=2)),
+    ]
+    return _sweep("rename_impl", variants, benchmarks, measure, warmup)
+
+
+def allocation_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                     measure: int = ABLATION_MEASURE,
+                     warmup: int = ABLATION_WARMUP) -> AblationResult:
+    """A4: allocation policies on the WSRS machine."""
+    variants = [
+        ("RM", wsrs_rm(512)),
+        ("RC", wsrs_rc(512)),
+        ("dependence-aware",
+         wsrs_rc(512, allocation_policy="dependence_aware",
+                 name="WSRS DEP 512")),
+    ]
+    return _sweep("allocation", variants, benchmarks, measure, warmup)
+
+
+def format_result(result: AblationResult) -> str:
+    """Text table for one ablation."""
+    benchmarks = list(result.ipc)
+    labels = list(result.ipc[benchmarks[0]]) if benchmarks else []
+    width = max((len(label) for label in labels), default=8) + 2
+    lines = [f"Ablation: {result.name}",
+             " " * width + "".join(f"{b:>12s}" for b in benchmarks)]
+    for label in labels:
+        cells = "".join(f"{result.ipc[b][label]:>12.3f}"
+                        for b in benchmarks)
+        lines.append(f"{label:<{width}s}{cells}")
+    return "\n".join(lines)
+
+
+def run_all(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+            measure: int = ABLATION_MEASURE,
+            warmup: int = ABLATION_WARMUP,
+            print_tables: bool = True) -> List[AblationResult]:
+    """Run the four ablations."""
+    results = [
+        register_sweep(benchmarks, measure=measure, warmup=warmup),
+        fastforward_sweep(benchmarks, measure=measure, warmup=warmup),
+        rename_impl_sweep(benchmarks, measure=measure, warmup=warmup),
+        allocation_sweep(benchmarks, measure=measure, warmup=warmup),
+    ]
+    if print_tables:
+        for result in results:
+            print(format_result(result))
+            print()
+    return results

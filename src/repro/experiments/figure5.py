@@ -1,0 +1,110 @@
+"""Experiment driver for Figure 5 (workload unbalancing degrees).
+
+Replays the WSRS runs of Figure 4 and reports, per benchmark, the
+unbalancing degree (section 5.4.2's 128-instruction-group metric) of the
+RC and RM allocation policies, then verifies the shape of the published
+figure:
+
+* round-robin allocation on a conventional machine is perfectly
+  balanced (degree 0);
+* the RM policy, exploiting fewer degrees of freedom than RC, shows the
+  highest unbalancing in most cases;
+* floating-point benchmarks tend to be more unbalanced than integer
+  ones; the high-IPC FP codes (wupwise, facerec) approach 100 %, while
+  the high-IPC integer codes (gzip, crafty) sit around 80 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config import baseline_rr_256, wsrs_rc, wsrs_rm
+from repro.experiments.runner import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    RunResult,
+    run_matrix,
+)
+from repro.trace.profiles import FP_BENCHMARKS, INTEGER_BENCHMARKS
+
+
+@dataclass
+class Figure5Report:
+    """Unbalancing degrees plus shape-check verdicts."""
+
+    results: Dict[str, Dict[str, RunResult]]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def degree(self, benchmark: str, config: str) -> float:
+        return self.results[benchmark][config].unbalancing_degree
+
+
+def check_relations(results: Dict[str, Dict[str, RunResult]]) -> List[str]:
+    violations: List[str] = []
+    rm_higher = 0
+    comparable = 0
+    for benchmark, row in results.items():
+        if row["RR 256"].unbalancing_degree != 0.0:
+            violations.append(
+                f"{benchmark}: round-robin must be perfectly balanced, "
+                f"got {row['RR 256'].unbalancing_degree:.1f}%")
+        rc = row["WSRS RC S 512"].unbalancing_degree
+        rm = row["WSRS RM S 512"].unbalancing_degree
+        comparable += 1
+        if rm >= rc:
+            rm_higher += 1
+        if not 40.0 <= rc <= 100.0:
+            violations.append(
+                f"{benchmark}: RC unbalancing {rc:.1f}% outside the "
+                f"plausible Figure 5 band")
+    if comparable and rm_higher < comparable / 2:
+        violations.append(
+            "RM should exhibit the highest unbalancing degree in most "
+            f"cases (higher in only {rm_higher}/{comparable})")
+    fp_mean = _mean([results[b]["WSRS RM S 512"].unbalancing_degree
+                     for b in FP_BENCHMARKS if b in results])
+    int_mean = _mean([results[b]["WSRS RM S 512"].unbalancing_degree
+                      for b in INTEGER_BENCHMARKS if b in results])
+    if fp_mean and int_mean and fp_mean < int_mean:
+        violations.append(
+            f"FP benchmarks should be more unbalanced than integer ones "
+            f"(FP mean {fp_mean:.1f}% vs int mean {int_mean:.1f}%)")
+    return violations
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run(measure: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP,
+        benchmarks: List[str] | None = None, seed: int = 1,
+        print_table: bool = True) -> Figure5Report:
+    """Regenerate Figure 5."""
+    configs = (baseline_rr_256(), wsrs_rc(512), wsrs_rm(512))
+    if benchmarks is None:
+        benchmarks = list(INTEGER_BENCHMARKS) + list(FP_BENCHMARKS)
+    results = run_matrix(configs, benchmarks, measure=measure,
+                         warmup=warmup, seed=seed)
+    report = Figure5Report(results=results,
+                           violations=check_relations(results))
+    if print_table:
+        print("Figure 5 - unbalancing degree (%) per benchmark")
+        print(f"{'benchmark':<10s}{'WSRS RC':>10s}{'WSRS RM':>10s}")
+        for benchmark in benchmarks:
+            row = results[benchmark]
+            print(f"{benchmark:<10s}"
+                  f"{row['WSRS RC S 512'].unbalancing_degree:>10.1f}"
+                  f"{row['WSRS RM S 512'].unbalancing_degree:>10.1f}")
+        if report.ok:
+            print("\nAll Figure 5 relations hold (RR balanced, RM >= RC "
+                  "in most cases, FP more unbalanced than integer).")
+        else:
+            print("\nRELATION VIOLATIONS:")
+            for violation in report.violations:
+                print(f"  {violation}")
+    return report

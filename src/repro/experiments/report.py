@@ -1,0 +1,172 @@
+"""EXPERIMENTS.md generator: run everything, record paper-vs-measured.
+
+``python -m repro.experiments.report [--measure N] [--warmup N] [--out
+PATH]`` regenerates every table and figure and writes a Markdown record
+of the reproduction: Table 1 cell by cell, Figure 4 IPC per (benchmark,
+configuration) with the relation checks, Figure 5 unbalancing degrees,
+and the ablation panel.  EXPERIMENTS.md in the repository root is the
+output of this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import figure4_configs
+from repro.cost.report import PAPER_TABLE1, build_table1
+from repro.experiments import ablations, figure4, figure5
+from repro.experiments.table1 import compare_with_paper
+from repro.trace.profiles import FP_BENCHMARKS, INTEGER_BENCHMARKS
+
+
+@dataclass
+class ReportInputs:
+    measure: int
+    warmup: int
+    seed: int = 1
+
+
+def _table1_section() -> List[str]:
+    lines = ["## Table 1 - register-file complexity", ""]
+    comparison = compare_with_paper()
+    lines.append("| quantity | " + " | ".join(
+        row.organization.name for row in comparison.rows) + " |")
+    lines.append("|---|" + "---|" * len(comparison.rows))
+    keys = ["nJ/cycle", "access time (ns)", "pipeline cycles: 10 Ghz",
+            "sources per bypass point: 10 Ghz", "pipeline cycles: 5 Ghz",
+            "sources per bypass point: 5 Ghz", "reg. bit area (xw2)",
+            "total area / area noWS-2"]
+    for key in keys:
+        ours = [str(row.as_dict()[key]) for row in comparison.rows]
+        paper = [str(PAPER_TABLE1[row.organization.name][key])
+                 for row in comparison.rows]
+        cells = [f"{o} *({p})*" if o != p else o
+                 for o, p in zip(ours, paper)]
+        lines.append(f"| {key} | " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append("Measured values; the paper's value follows in "
+                 "*(italics)* wherever it differs.")
+    verdict = ("**All structural cells match the paper exactly; analytic "
+               "cells within the calibration tolerances.**"
+               if comparison.ok else
+               "**MISMATCHES:** " + "; ".join(comparison.mismatches))
+    lines.extend(["", verdict, ""])
+    return lines
+
+
+def _figure4_section(inputs: ReportInputs) -> List[str]:
+    lines = [f"## Figure 4 - IPC "
+             f"({inputs.measure:,} measured / {inputs.warmup:,} warm-up "
+             f"instructions per run)", ""]
+    report = figure4.run(measure=inputs.measure, warmup=inputs.warmup,
+                         seed=inputs.seed, print_table=False)
+    names = [config.name for config in figure4_configs()]
+    lines.append("| benchmark | " + " | ".join(names) + " |")
+    lines.append("|---|" + "---|" * len(names))
+    for benchmark in list(INTEGER_BENCHMARKS) + list(FP_BENCHMARKS):
+        row = report.results[benchmark]
+        base = row["RR 256"].ipc
+        cells = []
+        for name in names:
+            ipc = row[name].ipc
+            if name == "RR 256" or not base:
+                cells.append(f"{ipc:.2f}")
+            else:
+                cells.append(f"{ipc:.2f} ({100 * (ipc / base - 1):+.1f}%)")
+        lines.append(f"| {benchmark} | " + " | ".join(cells) + " |")
+    lines.append("")
+    if report.ok:
+        lines.append("**All Figure 4 relations hold**: WS at or above "
+                     "the conventional machine, WSRS-RC within the "
+                     "tolerance band of the baseline, and the WS window "
+                     "effect present on FP codes.")
+    else:
+        lines.append("**Relation violations:** "
+                      + "; ".join(report.violations))
+    lines.append("")
+    return lines
+
+
+def _figure5_section(inputs: ReportInputs) -> List[str]:
+    lines = ["## Figure 5 - unbalancing degrees (%)", ""]
+    report = figure5.run(measure=inputs.measure, warmup=inputs.warmup,
+                         seed=inputs.seed, print_table=False)
+    lines.append("| benchmark | WSRS RC | WSRS RM |")
+    lines.append("|---|---|---|")
+    for benchmark in list(INTEGER_BENCHMARKS) + list(FP_BENCHMARKS):
+        rc = report.degree(benchmark, "WSRS RC S 512")
+        rm = report.degree(benchmark, "WSRS RM S 512")
+        lines.append(f"| {benchmark} | {rc:.1f} | {rm:.1f} |")
+    lines.append("")
+    if report.ok:
+        lines.append("**All Figure 5 relations hold**: round-robin "
+                     "perfectly balanced, RM at or above RC in most "
+                     "cases, FP more unbalanced than integer.")
+    else:
+        lines.append("**Relation violations:** "
+                      + "; ".join(report.violations))
+    lines.append("")
+    return lines
+
+
+def _ablation_section(inputs: ReportInputs) -> List[str]:
+    lines = ["## Ablations (A1-A4)", ""]
+    measure = min(inputs.measure, 30_000)
+    warmup = min(inputs.warmup, 40_000)
+    for result in ablations.run_all(measure=measure, warmup=warmup,
+                                    print_tables=False):
+        lines.append(f"### {result.name}")
+        lines.append("")
+        benchmarks = list(result.ipc)
+        lines.append("| variant | " + " | ".join(benchmarks) + " |")
+        lines.append("|---|" + "---|" * len(benchmarks))
+        labels = list(result.ipc[benchmarks[0]])
+        for label in labels:
+            cells = [f"{result.ipc[b][label]:.3f}" for b in benchmarks]
+            lines.append(f"| {label} | " + " | ".join(cells) + " |")
+        lines.append("")
+    return lines
+
+
+def generate(inputs: ReportInputs) -> str:
+    """The full EXPERIMENTS.md text."""
+    lines = [
+        "# EXPERIMENTS - paper vs. measured",
+        "",
+        "Generated by `python -m repro.experiments.report` "
+        f"(measure={inputs.measure:,}, warmup={inputs.warmup:,}, "
+        f"seed={inputs.seed}).",
+        "",
+        "The paper's absolute IPCs come from SPEC CPU2000 binaries on the",
+        "authors' SPARC simulator; this reproduction runs calibrated",
+        "synthetic workloads (DESIGN.md section 3), so Figure 4/5 record",
+        "measured values plus the *relation* checks the paper's analysis",
+        "relies on.  Table 1 is reproduced cell-by-cell.",
+        "",
+    ]
+    lines += _table1_section()
+    lines += _figure4_section(inputs)
+    lines += _figure5_section(inputs)
+    lines += _ablation_section(inputs)
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measure", type=int, default=100_000)
+    parser.add_argument("--warmup", type=int, default=120_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    text = generate(ReportInputs(measure=args.measure,
+                                 warmup=args.warmup, seed=args.seed))
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

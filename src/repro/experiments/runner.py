@@ -1,0 +1,100 @@
+"""Shared experiment plumbing.
+
+Experiments bind a machine configuration to a benchmark trace and run the
+simulator for a warm-up phase (caches + branch predictor) followed by a
+measured slice, mirroring the methodology of section 5.3 (fast-forward,
+warm, then measure).  The paper measures 10 M-instruction slices; a pure
+Python simulator is ~10^2 slower than the authors' C simulator, so the
+default slice here is 100 K instructions with a 120 K warm-up - the
+``scale`` knob multiplies both for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import MachineConfig
+from repro.core.processor import Processor
+from repro.core.stats import SimulationStats
+from repro.trace.profiles import spec_trace
+
+#: Default measured-slice and warm-up lengths (instructions).
+DEFAULT_MEASURE = 100_000
+DEFAULT_WARMUP = 120_000
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (configuration, benchmark) simulation request."""
+
+    config: MachineConfig
+    benchmark: str
+    measure: int = DEFAULT_MEASURE
+    warmup: int = DEFAULT_WARMUP
+    seed: int = 1
+
+
+@dataclass
+class RunResult:
+    """Simulation outcome of one run."""
+
+    spec: RunSpec
+    stats: SimulationStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def unbalancing_degree(self) -> float:
+        return self.stats.unbalancing_degree
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one simulation to completion."""
+    trace = spec_trace(spec.benchmark, spec.warmup + spec.measure + 8_192,
+                       seed=spec.seed)
+    processor = Processor(spec.config, trace)
+    stats = processor.run(measure=spec.measure, warmup=spec.warmup)
+    return RunResult(spec=spec, stats=stats)
+
+
+def run_matrix(
+    configs: Sequence[MachineConfig],
+    benchmarks: Iterable[str],
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+    progress: Optional[object] = None,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run every (benchmark, config) pair.
+
+    Returns ``results[benchmark][config_name]``.  ``progress``, when
+    given, is called as ``progress(benchmark, config_name, result)`` after
+    each run (used by the CLI to stream rows).
+    """
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for benchmark in benchmarks:
+        row: Dict[str, RunResult] = {}
+        for config in configs:
+            spec = RunSpec(config=config, benchmark=benchmark,
+                           measure=measure, warmup=warmup, seed=seed)
+            result = execute(spec)
+            row[config.name] = result
+            if progress is not None:
+                progress(benchmark, config.name, result)
+        results[benchmark] = row
+    return results
+
+
+def format_ipc_table(results: Dict[str, Dict[str, RunResult]],
+                     config_names: List[str]) -> str:
+    """Figure 4-style text table: one row per benchmark, IPC per config."""
+    width = max((len(n) for n in results), default=9) + 1
+    header = " " * width + "".join(f"{name:>16s}" for name in config_names)
+    lines = [header]
+    for benchmark, row in results.items():
+        cells = "".join(f"{row[name].ipc:>16.3f}" for name in config_names)
+        lines.append(f"{benchmark:<{width}s}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Sensitivity studies around the section 5 operating point.
+
+Four sweeps probing how robust the paper's conclusion (WSRS ~ equal IPC
+at a fraction of the complexity) is to the modelling assumptions:
+
+* :func:`penalty_sweep` - minimum misprediction penalty from 10 to 25
+  cycles (the paper fixes 17/16/18; deeper pipelines raise all of them);
+* :func:`memory_sweep` - main-memory latency from 40 to 160 cycles;
+* :func:`width_sweep` - the conventional 2-cluster 4-way reference
+  (noWS-2) against the 8-way machines: how much performance the wider
+  machine buys, to be weighed against Table 1's complexity columns;
+* :func:`predictor_sweep` - predictor quality (always-taken, bimodal,
+  gshare, 2Bc-gskew): mispredict-penalty differences between the
+  configurations matter more when prediction is worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import (
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    baseline_rr_256,
+    two_cluster_4way,
+    wsrs_rc,
+)
+from repro.core.processor import Processor
+from repro.frontend.predictors import make_predictor
+from repro.trace.profiles import spec_trace
+
+DEFAULT_BENCHMARK = "gzip"
+DEFAULT_MEASURE = 40_000
+DEFAULT_WARMUP = 50_000
+
+
+@dataclass
+class SweepResult:
+    name: str
+    #: results[variant_label][config_name] -> IPC
+    ipc: Dict[str, Dict[str, float]]
+
+
+def _run(config: MachineConfig, benchmark: str, measure: int,
+         warmup: int, predictor_kind: str = "2bcgskew") -> float:
+    trace = spec_trace(benchmark, measure + warmup + 8_192)
+    processor = Processor(config, trace,
+                          predictor=make_predictor(predictor_kind))
+    return processor.run(measure=measure, warmup=warmup).ipc
+
+
+def penalty_sweep(benchmark: str = DEFAULT_BENCHMARK,
+                  penalties: Sequence[int] = (10, 14, 17, 21, 25),
+                  measure: int = DEFAULT_MEASURE,
+                  warmup: int = DEFAULT_WARMUP) -> SweepResult:
+    """Base and WSRS across misprediction penalties.
+
+    WSRS carries a constant +1-cycle handicap (renaming implementation 2:
+    three extra stages before rename, two saved on register read), so the
+    *gap* should stay roughly constant as the penalty scales.
+    """
+    ipc: Dict[str, Dict[str, float]] = {}
+    for penalty in penalties:
+        ipc[f"penalty-{penalty}"] = {
+            "base": _run(baseline_rr_256(mispredict_penalty=penalty),
+                         benchmark, measure, warmup),
+            "wsrs": _run(wsrs_rc(512, mispredict_penalty=penalty + 1),
+                         benchmark, measure, warmup),
+        }
+    return SweepResult("penalty", ipc)
+
+
+def memory_sweep(benchmark: str = DEFAULT_BENCHMARK,
+                 miss_penalties: Sequence[int] = (40, 80, 160),
+                 measure: int = DEFAULT_MEASURE,
+                 warmup: int = DEFAULT_WARMUP) -> SweepResult:
+    """Base and WSRS across main-memory latencies."""
+    ipc: Dict[str, Dict[str, float]] = {}
+    for penalty in miss_penalties:
+        memory = MemoryConfig(
+            l2=CacheConfig(size_bytes=512 * 1024, line_bytes=64,
+                           associativity=8, hit_latency=12,
+                           miss_penalty=penalty))
+        ipc[f"mem-{penalty}"] = {
+            "base": _run(baseline_rr_256(memory=memory), benchmark,
+                         measure, warmup),
+            "wsrs": _run(wsrs_rc(512, memory=memory), benchmark,
+                         measure, warmup),
+        }
+    return SweepResult("memory", ipc)
+
+
+def width_sweep(benchmark: str = DEFAULT_BENCHMARK,
+                measure: int = DEFAULT_MEASURE,
+                warmup: int = DEFAULT_WARMUP) -> SweepResult:
+    """The complexity-effectiveness triangle of section 4.2.2.
+
+    noWS-2 (4-way) vs the conventional 8-way vs the 8-way WSRS machine:
+    WSRS aims for 8-way performance at close-to-4-way complexity.
+    """
+    ipc = {"width": {
+        "noWS-2 (4-way)": _run(two_cluster_4way(), benchmark, measure,
+                               warmup),
+        "conventional 8-way": _run(baseline_rr_256(), benchmark,
+                                   measure, warmup),
+        "WSRS 8-way": _run(wsrs_rc(512), benchmark, measure, warmup),
+    }}
+    return SweepResult("width", ipc)
+
+
+def predictor_sweep(benchmark: str = DEFAULT_BENCHMARK,
+                    kinds: Sequence[str] = ("always-taken", "bimodal",
+                                            "gshare", "2bcgskew"),
+                    measure: int = DEFAULT_MEASURE,
+                    warmup: int = DEFAULT_WARMUP) -> SweepResult:
+    """Base and WSRS across predictor quality."""
+    ipc: Dict[str, Dict[str, float]] = {}
+    for kind in kinds:
+        ipc[kind] = {
+            "base": _run(baseline_rr_256(), benchmark, measure, warmup,
+                         predictor_kind=kind),
+            "wsrs": _run(wsrs_rc(512), benchmark, measure, warmup,
+                         predictor_kind=kind),
+        }
+    return SweepResult("predictor", ipc)
+
+
+def format_sweep(result: SweepResult) -> str:
+    lines = [f"Sensitivity sweep: {result.name}"]
+    for variant, row in result.ipc.items():
+        cells = "  ".join(f"{config}={value:.3f}"
+                          for config, value in row.items())
+        lines.append(f"  {variant:<22s} {cells}")
+    return "\n".join(lines)
+
+
+def run_all(benchmark: str = DEFAULT_BENCHMARK,
+            measure: int = DEFAULT_MEASURE,
+            warmup: int = DEFAULT_WARMUP,
+            print_tables: bool = True) -> List[SweepResult]:
+    results = [
+        penalty_sweep(benchmark, measure=measure, warmup=warmup),
+        memory_sweep(benchmark, measure=measure, warmup=warmup),
+        width_sweep(benchmark, measure=measure, warmup=warmup),
+        predictor_sweep(benchmark, measure=measure, warmup=warmup),
+    ]
+    if print_tables:
+        for result in results:
+            print(format_sweep(result))
+            print()
+    return results

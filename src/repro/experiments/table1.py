@@ -1,0 +1,102 @@
+"""Experiment driver for Table 1 (register-file complexity estimates).
+
+Regenerates every row of the published table from the cost models and
+checks the reproduction contract:
+
+* structural rows (register counts, copies, ports, subfiles, bit area,
+  area ratios, pipeline depths, bypass sources) must match the paper
+  **exactly**;
+* the calibrated analytic rows (access time, energy) must match within
+  tolerances (0.02 ns / 0.15 nJ) and preserve the paper's ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cost.report import (
+    PAPER_TABLE1,
+    Table1Row,
+    build_table1,
+    format_table1,
+)
+
+#: Rows that must match the paper bit-for-bit.
+EXACT_KEYS = (
+    "nb of registers",
+    "register copies",
+    "physical subfiles",
+    "pipeline cycles: 10 Ghz",
+    "sources per bypass point: 10 Ghz",
+    "pipeline cycles: 5 Ghz",
+    "sources per bypass point: 5 Ghz",
+    "reg. bit area (xw2)",
+)
+
+ACCESS_TOLERANCE_NS = 0.02
+ENERGY_TOLERANCE_NJ = 0.15
+AREA_RATIO_TOLERANCE = 0.05
+
+
+@dataclass
+class Table1Comparison:
+    """Our values against the paper's, per configuration."""
+
+    rows: List[Table1Row]
+    mismatches: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def compare_with_paper() -> Table1Comparison:
+    """Build the table and diff it against the published values."""
+    rows = build_table1()
+    mismatches: List[str] = []
+    for row in rows:
+        ours = row.as_dict()
+        name = row.organization.name
+        paper: Dict[str, object] = dict(PAPER_TABLE1[name])
+        paper["nb of registers"] = row.organization.num_registers
+        paper["register copies"] = row.organization.copies
+        paper["physical subfiles"] = row.organization.subfiles
+        for key in EXACT_KEYS:
+            if ours[key] != paper[key]:
+                mismatches.append(
+                    f"{name}: {key} = {ours[key]} (paper {paper[key]})")
+        if abs(row.access_ns
+               - float(paper["access time (ns)"])) > ACCESS_TOLERANCE_NS:
+            mismatches.append(
+                f"{name}: access time {row.access_ns:.3f} ns vs paper "
+                f"{paper['access time (ns)']}")
+        if abs(row.energy_nj
+               - float(paper["nJ/cycle"])) > ENERGY_TOLERANCE_NJ:
+            mismatches.append(
+                f"{name}: energy {row.energy_nj:.3f} nJ vs paper "
+                f"{paper['nJ/cycle']}")
+        if abs(row.total_area_ratio
+               - float(paper["total area / area noWS-2"])) \
+                > AREA_RATIO_TOLERANCE:
+            mismatches.append(
+                f"{name}: area ratio {row.total_area_ratio:.3f} vs paper "
+                f"{paper['total area / area noWS-2']}")
+    return Table1Comparison(rows=rows, mismatches=mismatches)
+
+
+def run(print_table: bool = True) -> Table1Comparison:
+    """Regenerate Table 1; optionally print it side-by-side."""
+    comparison = compare_with_paper()
+    if print_table:
+        print("Table 1 - register file complexity "
+              "(ours, with the paper's value beneath)")
+        print(format_table1(comparison.rows))
+        if comparison.ok:
+            print("\nAll structural values match the paper; analytic "
+                  "values within tolerance.")
+        else:
+            print("\nMISMATCHES:")
+            for mismatch in comparison.mismatches:
+                print(f"  {mismatch}")
+    return comparison

@@ -1,0 +1,12 @@
+"""Extensions beyond the paper's 4-cluster design."""
+
+from repro.extensions.general_wsrs import (
+    WsrsMapping,
+    analyze_balance,
+    four_cluster_mapping,
+    make_mapping,
+    seven_cluster_mapping,
+)
+
+__all__ = ["WsrsMapping", "analyze_balance", "four_cluster_mapping",
+           "make_mapping", "seven_cluster_mapping"]

@@ -1,0 +1,149 @@
+"""SMT workloads: the register-pressure case of section 2.3.
+
+The deadlock analysis of the paper singles out simultaneous
+multithreading: "for SMTs or for ISAs featuring very large numbers of
+registers (e.g. IA-64), [subsets at least as large as the logical
+register file] might not be a realistic solution" - with ``T`` hardware
+threads the architected state is ``T x`` the ISA's logical registers, so
+write-specialized subsets realistically *cannot* all hold a full copy
+and one of the two workarounds becomes mandatory.
+
+This module builds SMT machines out of the existing single-threaded
+pieces, with zero changes to the core:
+
+* each hardware thread gets a private slice of the *flat logical register
+  space* (:func:`remap_thread_registers`), which is exactly how the
+  renamer sees per-thread architected state on a real SMT;
+* the thread traces are interleaved round-robin in fetch chunks
+  (:func:`interleave`), modelling an ICOUNT-less round-robin fetch
+  policy;
+* :func:`smt_machine_config` widens the configuration's logical register
+  counts accordingly (and leaves the *physical* file unchanged - that is
+  the point of the experiment).
+
+Example::
+
+    from repro.extensions.smt import smt_machine_config, smt_trace
+    from repro.config import ws_rr
+    from repro.core.processor import simulate
+
+    config = smt_machine_config(ws_rr(512), threads=2,
+                                deadlock_policy="moves")
+    trace = smt_trace(["gzip", "mcf"], count_per_thread=50_000)
+    stats = simulate(config, trace, measure=100_000)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError
+from repro.trace.model import TraceInstruction
+from repro.trace.profiles import spec_trace
+from repro.trace.synthetic import NUM_FP_LOGICAL, NUM_INT_LOGICAL
+
+#: Per-thread PC offset, so threads' branch sites do not alias in the
+#: predictor unless they genuinely share code.
+THREAD_PC_STRIDE = 1 << 24
+
+
+def remap_thread_registers(
+    inst: TraceInstruction,
+    thread: int,
+    threads: int,
+    int_logical: int = NUM_INT_LOGICAL,
+    fp_logical: int = NUM_FP_LOGICAL,
+) -> TraceInstruction:
+    """Move one instruction's registers into thread ``thread``'s slice.
+
+    The combined flat space holds all threads' integer registers first
+    (``threads * int_logical``), then all FP registers - matching the
+    :mod:`repro.trace.model` convention for a machine whose logical
+    counts have been widened by :func:`smt_machine_config`.
+    """
+
+    def remap(logical):
+        if logical is None:
+            return None
+        if logical < int_logical:  # integer register
+            return thread * int_logical + logical
+        fp_index = logical - int_logical
+        return (threads * int_logical + thread * fp_logical + fp_index)
+
+    return TraceInstruction(
+        op=inst.op,
+        dest=remap(inst.dest),
+        src1=remap(inst.src1),
+        src2=remap(inst.src2),
+        pc=inst.pc + thread * THREAD_PC_STRIDE,
+        taken=inst.taken,
+        addr=inst.addr + thread * (1 << 30),
+        commutative=inst.commutative,
+    )
+
+
+def interleave(
+    traces: Sequence[Iterable[TraceInstruction]],
+    chunk: int = 4,
+    int_logical: int = NUM_INT_LOGICAL,
+    fp_logical: int = NUM_FP_LOGICAL,
+) -> Iterator[TraceInstruction]:
+    """Round-robin-interleave per-thread traces into one SMT stream.
+
+    ``chunk`` instructions are fetched from each thread in turn (a
+    round-robin fetch policy).  A thread that runs dry simply drops out;
+    the stream ends when every thread is exhausted.
+    """
+    if not traces:
+        return
+    threads = len(traces)
+    iterators: List[Iterator[TraceInstruction]] = [iter(t) for t in traces]
+    alive = [True] * threads
+    while any(alive):
+        for thread, iterator in enumerate(iterators):
+            if not alive[thread]:
+                continue
+            for _ in range(chunk):
+                try:
+                    inst = next(iterator)
+                except StopIteration:
+                    alive[thread] = False
+                    break
+                yield remap_thread_registers(inst, thread, threads,
+                                             int_logical, fp_logical)
+
+
+def smt_machine_config(base: MachineConfig, threads: int,
+                       deadlock_policy: str | None = None,
+                       ) -> MachineConfig:
+    """Widen a configuration's architected state for ``threads`` threads.
+
+    The physical register file is left untouched: the experiment is
+    precisely whether it can still rename ``threads`` copies of the
+    architected state.  For write-specialized machines whose subsets end
+    up smaller than the combined logical count, a ``deadlock_policy``
+    must be supplied (section 2.3) - otherwise the configuration is
+    rejected, exactly as the paper's sizing rule dictates.
+    """
+    if threads < 1:
+        raise ConfigError("need at least one thread")
+    kwargs = dict(
+        name=f"{base.name} SMT-{threads}",
+        int_logical_registers=base.int_logical_registers * threads,
+        fp_logical_registers=base.fp_logical_registers * threads,
+    )
+    if deadlock_policy is not None:
+        kwargs["deadlock_policy"] = deadlock_policy
+    config = base.with_changes(**kwargs)
+    config.validate()
+    return config
+
+
+def smt_trace(benchmarks: Sequence[str], count_per_thread: int,
+              seed: int = 1, chunk: int = 4,
+              ) -> Iterator[TraceInstruction]:
+    """An interleaved SMT stream of SPEC-named benchmark profiles."""
+    traces = [spec_trace(name, count_per_thread, seed=seed + index)
+              for index, name in enumerate(benchmarks)]
+    return interleave(traces, chunk=chunk)

@@ -1,0 +1,8 @@
+"""Instruction delivery and branch prediction."""
+
+from repro.frontend.fetch import FetchedInstruction, FrontEnd
+from repro.frontend.gskew import TwoBcGskewPredictor
+from repro.frontend.predictors import BranchPredictor, make_predictor
+
+__all__ = ["BranchPredictor", "FetchedInstruction", "FrontEnd",
+           "TwoBcGskewPredictor", "make_predictor"]

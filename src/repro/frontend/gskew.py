@@ -1,0 +1,169 @@
+"""The 2Bc-gskew hybrid branch predictor.
+
+This is the predictor the paper simulates (section 5.2): a 512 Kbit
+2Bc-gskew, "equivalent to the branch predictor of the cancelled Alpha EV8"
+[16], following the de-aliased hybrid design of Seznec and Michaud [17].
+
+Structure - four banks of 2-bit saturating counters:
+
+* **BIM** - a bimodal bank indexed by the branch address;
+* **G0**, **G1** - two gshare-style banks indexed by *skewed* hashes of the
+  address and global histories of different lengths;
+* **Meta** - a chooser bank arbitrating between the bimodal prediction
+  and the e-gskew majority vote.  It is indexed by the branch address
+  (history length 0 by default): a per-branch chooser converges even for
+  branches whose global history carries no information, which is what
+  lets 2Bc-gskew fall back to bimodal accuracy on data-dependent
+  branches.
+
+Prediction: ``e-gskew = majority(BIM, G0, G1)``; the meta bank selects
+between ``BIM`` and ``e-gskew``.
+
+Update follows the *partial update* policy of [17], which is what
+de-aliases the banks:
+
+* on a correct overall prediction, only the banks that agreed with the
+  outcome are strengthened (the wrong minority bank of a correct majority
+  is left untouched);
+* on a misprediction, every bank is trained toward the outcome;
+* the chooser is trained whenever the bimodal and e-gskew predictions
+  differ, toward whichever component was right.
+
+The default geometry is four banks of 2^16 two-bit counters = 512 Kbit
+total, matching the paper's sizing.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.predictors import (
+    BranchPredictor,
+    GlobalHistory,
+    SaturatingCounterTable,
+)
+
+
+def _skew_h(value: int, bits: int) -> int:
+    """The H skewing function of Seznec-Michaud (a GF(2) shuffle).
+
+    ``H(x)`` rotates the low ``bits`` of ``value`` by one position and
+    mixes the two top bits back into the bottom, giving three inter-bank
+    hashes with pairwise-different conflict sets.
+    """
+    mask = (1 << bits) - 1
+    value &= mask
+    top = value >> (bits - 1)
+    second = (value >> (bits - 2)) & 1
+    return ((value << 1) & mask) | (top ^ second)
+
+
+def _skew_h_inverse(value: int, bits: int) -> int:
+    """The inverse shuffle H^-1, the third member of the skew family."""
+    mask = (1 << bits) - 1
+    value &= mask
+    low = value & 1
+    top = value >> (bits - 1)
+    return (value >> 1) | ((low ^ top) << (bits - 1))
+
+
+class TwoBcGskewPredictor(BranchPredictor):
+    """512 Kbit 2Bc-gskew predictor (EV8-class)."""
+
+    name = "2bcgskew"
+
+    def __init__(
+        self,
+        bank_entries: int = 1 << 16,
+        history_g0: int = 13,
+        history_g1: int = 21,
+        history_meta: int = 0,
+    ) -> None:
+        self.bim = SaturatingCounterTable(bank_entries)
+        self.g0 = SaturatingCounterTable(bank_entries)
+        self.g1 = SaturatingCounterTable(bank_entries)
+        # The chooser starts biased toward e-gskew (weakly "use gskew").
+        self.meta = SaturatingCounterTable(bank_entries,
+                                           initial=(1 << 1))
+        self.index_bits = bank_entries.bit_length() - 1
+        self.history = GlobalHistory(max(history_g0, history_g1,
+                                         history_meta))
+        self.history_g0 = history_g0
+        self.history_g1 = history_g1
+        self.history_meta = history_meta
+
+    # -- indexing ---------------------------------------------------------
+
+    def _fold(self, value: int) -> int:
+        """Fold an arbitrary-width value down to the bank index width."""
+        bits = self.index_bits
+        mask = (1 << bits) - 1
+        folded = 0
+        while value:
+            folded ^= value & mask
+            value >>= bits
+        return folded
+
+    def _indices(self, pc: int) -> tuple[int, int, int, int]:
+        address = pc >> 2
+        bits = self.index_bits
+        hist0 = self.history.bits(self.history_g0)
+        hist1 = self.history.bits(self.history_g1)
+        histm = self.history.bits(self.history_meta)
+        base0 = self._fold(address ^ (hist0 << 3))
+        base1 = self._fold(address ^ (hist1 << 1))
+        basem = self._fold(address ^ (histm << 2))
+        index_bim = self._fold(address)
+        index_g0 = _skew_h(base0, bits)
+        index_g1 = _skew_h_inverse(base1, bits)
+        index_meta = _skew_h(basem ^ (basem >> 3), bits)
+        return index_bim, index_g0, index_g1, index_meta
+
+    # -- prediction ---------------------------------------------------------
+
+    def _components(self, pc: int):
+        index_bim, index_g0, index_g1, index_meta = self._indices(pc)
+        pred_bim = self.bim.predict(index_bim)
+        pred_g0 = self.g0.predict(index_g0)
+        pred_g1 = self.g1.predict(index_g1)
+        votes = int(pred_bim) + int(pred_g0) + int(pred_g1)
+        pred_gskew = votes >= 2
+        use_gskew = self.meta.predict(index_meta)
+        overall = pred_gskew if use_gskew else pred_bim
+        return (overall, pred_bim, pred_g0, pred_g1, pred_gskew, use_gskew,
+                index_bim, index_g0, index_g1, index_meta)
+
+    def predict(self, pc: int) -> bool:
+        return self._components(pc)[0]
+
+    def update(self, pc: int, taken: bool) -> None:
+        (overall, pred_bim, pred_g0, pred_g1, pred_gskew, use_gskew,
+         index_bim, index_g0, index_g1, index_meta) = self._components(pc)
+
+        if pred_bim != pred_gskew:
+            # The chooser only learns when its inputs disagree.
+            self.meta.update(index_meta, pred_gskew == taken)
+
+        if overall == taken:
+            # Partial update: agreeing banks are strengthened.  When the
+            # two sides disagreed, the gskew banks are additionally
+            # trained toward the outcome even if wrong - otherwise a
+            # chooser parked on bimodal starves G0/G1 forever and the
+            # predictor can never pick up a late-emerging history pattern
+            # (e.g. a loop-exit branch first classified as biased).
+            disagreed = pred_bim != pred_gskew
+            if pred_bim == taken:
+                self.bim.update(index_bim, taken)
+            if pred_g0 == taken or disagreed:
+                self.g0.update(index_g0, taken)
+            if pred_g1 == taken or disagreed:
+                self.g1.update(index_g1, taken)
+        else:
+            # Mispredicted: retrain everything toward the outcome.
+            self.bim.update(index_bim, taken)
+            self.g0.update(index_g0, taken)
+            self.g1.update(index_g1, taken)
+
+        self.history.push(taken)
+
+    def storage_bits(self) -> int:
+        return (self.bim.storage_bits() + self.g0.storage_bits()
+                + self.g1.storage_bits() + self.meta.storage_bits())

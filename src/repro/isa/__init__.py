@@ -1,0 +1,9 @@
+"""SimISA: the SPARC-flavoured mini-ISA, assembler and executor."""
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import Executor, execute_program
+from repro.isa.program import Instruction, Program
+from repro.isa.registers import isa_machine_config, parse_register
+
+__all__ = ["Executor", "Instruction", "Program", "assemble",
+           "execute_program", "isa_machine_config", "parse_register"]

@@ -1,0 +1,187 @@
+"""Two-pass assembler for SimISA.
+
+Source syntax::
+
+    ; daxpy: y[i] += a * x[i]
+    mov   r1, #0          ; i = 0
+    mov   r2, #64         ; n = 64
+    loop:
+    ldf   f1, r3, #0      ; x[i]
+    fmul  f2, f1, f0      ; a * x[i]
+    ldf   f3, r4, #0
+    fadd  f3, f3, f2
+    stf   f3, r4, #0
+    add   r3, r3, #8
+    add   r4, r4, #8
+    add   r1, r1, #1
+    sub   r5, r1, r2
+    blt   r5, loop
+    halt
+
+Conventions: one instruction or label per line; labels end with ``:``;
+comments start with ``;`` or ``#`` (a ``#`` that directly precedes a
+number is an immediate, not a comment); immediates accept decimal and
+``0x`` hexadecimal, with optional leading ``-``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    INSTRUCTION_SET,
+    SHAPE_BRANCH,
+    SHAPE_JUMP,
+    SHAPE_MEM,
+    SHAPE_NONE,
+    SHAPE_RR,
+    SHAPE_RRR,
+)
+from repro.isa.program import Instruction, Program
+from repro.isa.registers import is_fp, parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_IMMEDIATE_RE = re.compile(r"^#(-?(?:0[xX][0-9a-fA-F]+|\d+))$")
+_COMMENT_RE = re.compile(r";.*$|#(?![-0-9x]).*$")
+
+
+def _strip_comment(line: str) -> str:
+    return _COMMENT_RE.sub("", line).strip()
+
+
+def _parse_immediate(token: str, line: int) -> Optional[int]:
+    match = _IMMEDIATE_RE.match(token)
+    if not match:
+        return None
+    text = match.group(1)
+    return int(text, 16) if "x" in text.lower() else int(text, 10)
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest else []
+
+
+class Assembler:
+    """Stateless two-pass assembler (a class only to group helpers)."""
+
+    def assemble(self, source: str, name: str = "<memory>") -> Program:
+        """Assemble ``source`` into a :class:`Program`.
+
+        Raises :class:`repro.errors.AssemblyError` with the offending
+        line number on any syntax problem.
+        """
+        program = Program(source_name=name)
+        for number, raw in enumerate(source.splitlines(), start=1):
+            text = _strip_comment(raw)
+            if not text:
+                continue
+            label = _LABEL_RE.match(text)
+            if label:
+                label_name = label.group(1)
+                if label_name in program.labels:
+                    raise AssemblyError(
+                        f"duplicate label {label_name!r}", number)
+                program.labels[label_name] = len(program.instructions)
+                continue
+            program.instructions.append(self._parse_instruction(
+                text, number))
+        program.resolve_targets()
+        return program
+
+    # -- single-instruction parsing -------------------------------------
+
+    def _parse_instruction(self, text: str, line: int) -> Instruction:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        spec = INSTRUCTION_SET.get(mnemonic)
+        if spec is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line)
+        operands = _split_operands(rest)
+        if spec.shape == SHAPE_RRR:
+            return self._parse_rrr(spec, operands, line)
+        if spec.shape == SHAPE_RR:
+            return self._parse_rr(spec, operands, line)
+        if spec.shape == SHAPE_MEM:
+            return self._parse_mem(spec, operands, line)
+        if spec.shape == SHAPE_BRANCH:
+            return self._parse_branch(spec, operands, line)
+        if spec.shape == SHAPE_JUMP:
+            if len(operands) != 1:
+                raise AssemblyError(f"{spec.mnemonic} takes one label",
+                                    line)
+            return Instruction(spec, target=operands[0], line=line)
+        if operands:
+            raise AssemblyError(f"{spec.mnemonic} takes no operands", line)
+        return Instruction(spec, line=line)
+
+    def _register(self, token: str, line: int, *, fp: bool) -> int:
+        register = parse_register(token, line)
+        if is_fp(register) != fp:
+            bank = "floating-point" if fp else "integer"
+            raise AssemblyError(
+                f"expected a {bank} register, got {token!r}", line)
+        return register
+
+    def _reg_or_imm(self, token: str, line: int, *,
+                    fp: bool) -> Tuple[Optional[int], Optional[int]]:
+        immediate = _parse_immediate(token, line)
+        if immediate is not None:
+            if fp:
+                raise AssemblyError(
+                    "FP instructions take no immediates", line)
+            return None, immediate
+        return self._register(token, line, fp=fp), None
+
+    def _parse_rrr(self, spec, operands: List[str],
+                   line: int) -> Instruction:
+        if len(operands) != 3:
+            raise AssemblyError(
+                f"{spec.mnemonic} takes dest, src1, src2", line)
+        fp = spec.fp_data
+        dest = self._register(operands[0], line, fp=fp)
+        src1 = self._register(operands[1], line, fp=fp)
+        src2, immediate = self._reg_or_imm(operands[2], line, fp=fp)
+        return Instruction(spec, dest=dest, src1=src1, src2=src2,
+                           immediate=immediate, line=line)
+
+    def _parse_rr(self, spec, operands: List[str],
+                  line: int) -> Instruction:
+        if len(operands) != 2:
+            raise AssemblyError(f"{spec.mnemonic} takes dest, src", line)
+        fp = spec.fp_data
+        dest = self._register(operands[0], line, fp=fp)
+        src1, immediate = self._reg_or_imm(operands[1], line, fp=fp)
+        return Instruction(spec, dest=dest, src1=src1,
+                           immediate=immediate, line=line)
+
+    def _parse_mem(self, spec, operands: List[str],
+                   line: int) -> Instruction:
+        if len(operands) != 3:
+            raise AssemblyError(
+                f"{spec.mnemonic} takes reg, base, #offset", line)
+        data = self._register(operands[0], line, fp=spec.fp_data)
+        base = self._register(operands[1], line, fp=False)
+        offset = _parse_immediate(operands[2], line)
+        if offset is None:
+            raise AssemblyError("memory offset must be an immediate", line)
+        if spec.mnemonic in ("ld", "ldf"):
+            return Instruction(spec, dest=data, src1=base,
+                               immediate=offset, line=line)
+        # Stores: base address in src1, datum in src2 (trace convention).
+        return Instruction(spec, src1=base, src2=data,
+                           immediate=offset, line=line)
+
+    def _parse_branch(self, spec, operands: List[str],
+                      line: int) -> Instruction:
+        if len(operands) != 2:
+            raise AssemblyError(f"{spec.mnemonic} takes reg, label", line)
+        src1 = self._register(operands[0], line, fp=False)
+        return Instruction(spec, src1=src1, target=operands[1], line=line)
+
+
+def assemble(source: str, name: str = "<memory>") -> Program:
+    """Module-level convenience wrapper."""
+    return Assembler().assemble(source, name)

@@ -1,0 +1,202 @@
+"""Functional executor for SimISA: runs a program, emits a trace.
+
+The executor interprets a :class:`repro.isa.program.Program` with real
+integer/FP register values and a sparse word-addressed memory, yielding
+one :class:`repro.trace.model.TraceInstruction` per *executed* (i.e.
+taken-path) instruction.  The resulting stream can be fed straight into
+:class:`repro.core.processor.Processor` (with the SimISA register counts,
+see :func:`repro.isa.registers.isa_machine_config`) - giving the simulator
+a second, fully deterministic workload source that is genuine program
+execution rather than statistics.
+
+Semantics notes:
+
+* integer arithmetic wraps to 64-bit two's complement;
+* division by zero yields 0 (and ``fdiv`` by 0.0 yields 0.0) - SimISA
+  has no traps;
+* ``r0`` reads as zero and swallows writes;
+* memory is initially zero-filled and word (8-byte) granular; misaligned
+  addresses are rounded down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import CONDITIONS, SHAPE_JUMP, SHAPE_NONE
+from repro.isa.program import Instruction, Program
+from repro.isa.registers import FP_BASE, NUM_FP_REGS, NUM_INT_REGS
+from repro.trace.model import OpClass, TraceInstruction
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap64(value: int) -> int:
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class Executor:
+    """Architectural state plus the interpreter loop."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.int_regs: List[int] = [0] * NUM_INT_REGS
+        self.fp_regs: List[float] = [0.0] * NUM_FP_REGS
+        self.memory: Dict[int, object] = {}
+        self.pc_index = 0
+        self.executed = 0
+        self.halted = False
+
+    # -- register access ---------------------------------------------------
+
+    def read(self, flat: int):
+        if flat >= FP_BASE:
+            return self.fp_regs[flat - FP_BASE]
+        return self.int_regs[flat] if flat else 0
+
+    def write(self, flat: int, value) -> None:
+        if flat >= FP_BASE:
+            self.fp_regs[flat - FP_BASE] = float(value)
+        elif flat:  # r0 swallows writes
+            self.int_regs[flat] = _wrap64(int(value))
+
+    # -- memory access ---------------------------------------------------
+
+    @staticmethod
+    def _word(addr: int) -> int:
+        if addr < 0:
+            raise ExecutionError(f"negative memory address {addr:#x}")
+        return addr & ~7
+
+    def load(self, addr: int):
+        return self.memory.get(self._word(addr), 0)
+
+    def store(self, addr: int, value) -> None:
+        self.memory[self._word(addr)] = value
+
+    # -- interpretation ---------------------------------------------------
+
+    def _operand(self, inst: Instruction):
+        """Second ALU operand: register value or immediate."""
+        if inst.src2 is not None:
+            return self.read(inst.src2)
+        return inst.immediate or 0
+
+    def _alu(self, inst: Instruction):
+        mnemonic = inst.spec.mnemonic
+        if mnemonic == "mov":
+            return (self.read(inst.src1) if inst.src1 is not None
+                    else inst.immediate or 0)
+        if mnemonic == "neg":
+            return -(self.read(inst.src1) if inst.src1 is not None
+                     else inst.immediate or 0)
+        left = self.read(inst.src1)
+        right = self._operand(inst)
+        if mnemonic == "add":
+            return left + right
+        if mnemonic == "sub":
+            return left - right
+        if mnemonic == "and":
+            return left & right
+        if mnemonic == "or":
+            return left | right
+        if mnemonic == "xor":
+            return left ^ right
+        if mnemonic == "sll":
+            return left << (right & 63)
+        if mnemonic == "srl":
+            return (left & _MASK64) >> (right & 63)
+        if mnemonic == "mul":
+            return left * right
+        if mnemonic == "div":
+            return int(left / right) if right else 0
+        raise ExecutionError(f"unhandled ALU mnemonic {mnemonic!r}")
+
+    def _fpu(self, inst: Instruction) -> float:
+        mnemonic = inst.spec.mnemonic
+        if mnemonic == "fmov":
+            return self.read(inst.src1)
+        if mnemonic == "fsqrt":
+            value = self.read(inst.src1)
+            return math.sqrt(value) if value >= 0 else 0.0
+        left = self.read(inst.src1)
+        right = self.read(inst.src2)
+        if mnemonic == "fadd":
+            return left + right
+        if mnemonic == "fsub":
+            return left - right
+        if mnemonic == "fmul":
+            return left * right
+        if mnemonic == "fdiv":
+            return left / right if right else 0.0
+        raise ExecutionError(f"unhandled FP mnemonic {mnemonic!r}")
+
+    def step(self) -> Optional[TraceInstruction]:
+        """Execute one instruction; None once halted / off the end."""
+        program = self.program
+        if self.halted or self.pc_index >= len(program.instructions):
+            self.halted = True
+            return None
+        inst = program.instructions[self.pc_index]
+        spec = inst.spec
+        pc = program.pc_of_index(self.pc_index)
+        next_index = self.pc_index + 1
+        taken = False
+        addr = 0
+
+        if spec.mnemonic == "halt":
+            self.halted = True
+        elif spec.shape == SHAPE_NONE:
+            pass  # nop
+        elif spec.shape == SHAPE_JUMP:
+            taken = True
+            next_index = program.index_of_label(inst.target)
+        elif spec.op_class == OpClass.BRANCH:
+            taken = CONDITIONS[spec.condition](self.read(inst.src1))
+            if taken:
+                next_index = program.index_of_label(inst.target)
+        elif spec.op_class == OpClass.LOAD:
+            addr = self.read(inst.src1) + (inst.immediate or 0)
+            self.write(inst.dest, self.load(addr))
+        elif spec.op_class == OpClass.STORE:
+            addr = self.read(inst.src1) + (inst.immediate or 0)
+            self.store(addr, self.read(inst.src2))
+        elif spec.fp_data:
+            self.write(inst.dest, self._fpu(inst))
+        else:
+            self.write(inst.dest, self._alu(inst))
+
+        self.pc_index = next_index
+        self.executed += 1
+        dyadic = inst.src1 is not None and inst.src2 is not None
+        trace = TraceInstruction(
+            op=spec.op_class,
+            dest=inst.dest,
+            src1=inst.src1,
+            src2=inst.src2,
+            pc=pc,
+            taken=taken,
+            addr=addr,
+            commutative=spec.commutative and dyadic,
+        )
+        return trace
+
+    def run(self, max_instructions: int = 1_000_000,
+            ) -> Iterator[TraceInstruction]:
+        """Yield the executed trace, up to ``max_instructions``."""
+        while self.executed < max_instructions:
+            trace = self.step()
+            if trace is None:
+                return
+            yield trace
+
+
+def execute_program(program: Program, max_instructions: int = 1_000_000,
+                    ) -> Iterator[TraceInstruction]:
+    """One-call helper: fresh executor, full trace."""
+    return Executor(program).run(max_instructions)

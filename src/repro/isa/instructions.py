@@ -1,0 +1,114 @@
+"""Instruction set of SimISA.
+
+A small SPARC-flavoured load/store ISA - enough surface to write real
+kernels (loops, pointer chasing, FP arithmetic) whose executed traces
+exercise every operation class of the simulator.
+
+Operand syntax (assembler):
+
+=====================  ==============================  ==================
+form                   example                         semantics
+=====================  ==============================  ==================
+three-register         ``add r3, r1, r2``              ``r3 = r1 + r2``
+register-immediate     ``add r3, r1, #8``              ``r3 = r1 + 8``
+move immediate         ``mov r3, #42``                 ``r3 = 42``
+move register          ``mov r3, r1``                  ``r3 = r1``
+load                   ``ld r3, r1, #16``              ``r3 = M[r1+16]``
+store                  ``st r3, r1, #16``              ``M[r1+16] = r3``
+FP load/store          ``ldf f3, r1, #0`` / ``stf``    FP data, int base
+compare-and-branch     ``bgt r1, loop``                taken if r1 > 0
+unconditional          ``jmp loop``                    always taken
+=====================  ==============================  ==================
+
+Conditional branches compare one register against zero (SPARC's
+branch-on-register-contents form), making them *monadic* - the shape the
+paper's allocation analysis cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.trace.model import OpClass
+
+#: Operand-shape categories used by the assembler.
+SHAPE_RRR = "rrr"        # dest, src1, src2|imm
+SHAPE_RR = "rr"          # dest, src|imm        (mov, fmov, fsqrt, neg)
+SHAPE_MEM = "mem"        # reg, base, #offset   (loads and stores)
+SHAPE_BRANCH = "branch"  # src, label
+SHAPE_JUMP = "jump"      # label
+SHAPE_NONE = "none"      # halt, nop
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    op_class: OpClass
+    shape: str
+    commutative: bool = False
+    fp_data: bool = False      # register operands are FP (loads: the datum)
+    condition: Optional[str] = None  # branches: eq/ne/lt/ge/gt/le
+
+    @property
+    def is_branch(self) -> bool:
+        return self.shape in (SHAPE_BRANCH, SHAPE_JUMP)
+
+
+def _spec(mnemonic: str, op_class: OpClass, shape: str,
+          **kwargs) -> Tuple[str, InstructionSpec]:
+    return mnemonic, InstructionSpec(mnemonic, op_class, shape, **kwargs)
+
+
+#: mnemonic -> spec
+INSTRUCTION_SET: Dict[str, InstructionSpec] = dict((
+    # integer ALU
+    _spec("add", OpClass.IALU, SHAPE_RRR, commutative=True),
+    _spec("sub", OpClass.IALU, SHAPE_RRR),
+    _spec("and", OpClass.IALU, SHAPE_RRR, commutative=True),
+    _spec("or", OpClass.IALU, SHAPE_RRR, commutative=True),
+    _spec("xor", OpClass.IALU, SHAPE_RRR, commutative=True),
+    _spec("sll", OpClass.IALU, SHAPE_RRR),
+    _spec("srl", OpClass.IALU, SHAPE_RRR),
+    _spec("mov", OpClass.IALU, SHAPE_RR),
+    _spec("neg", OpClass.IALU, SHAPE_RR),
+    _spec("mul", OpClass.IMULDIV, SHAPE_RRR, commutative=True),
+    _spec("div", OpClass.IMULDIV, SHAPE_RRR),
+    # memory
+    _spec("ld", OpClass.LOAD, SHAPE_MEM),
+    _spec("st", OpClass.STORE, SHAPE_MEM),
+    _spec("ldf", OpClass.LOAD, SHAPE_MEM, fp_data=True),
+    _spec("stf", OpClass.STORE, SHAPE_MEM, fp_data=True),
+    # floating point
+    _spec("fadd", OpClass.FPADD, SHAPE_RRR, commutative=True,
+          fp_data=True),
+    _spec("fsub", OpClass.FPADD, SHAPE_RRR, fp_data=True),
+    _spec("fmul", OpClass.FPMUL, SHAPE_RRR, commutative=True,
+          fp_data=True),
+    _spec("fdiv", OpClass.FPDIV, SHAPE_RRR, fp_data=True),
+    _spec("fsqrt", OpClass.FPDIV, SHAPE_RR, fp_data=True),
+    _spec("fmov", OpClass.FPADD, SHAPE_RR, fp_data=True),
+    # control
+    _spec("beq", OpClass.BRANCH, SHAPE_BRANCH, condition="eq"),
+    _spec("bne", OpClass.BRANCH, SHAPE_BRANCH, condition="ne"),
+    _spec("blt", OpClass.BRANCH, SHAPE_BRANCH, condition="lt"),
+    _spec("bge", OpClass.BRANCH, SHAPE_BRANCH, condition="ge"),
+    _spec("bgt", OpClass.BRANCH, SHAPE_BRANCH, condition="gt"),
+    _spec("ble", OpClass.BRANCH, SHAPE_BRANCH, condition="le"),
+    _spec("jmp", OpClass.BRANCH, SHAPE_JUMP),
+    # misc
+    _spec("nop", OpClass.NOP, SHAPE_NONE),
+    _spec("halt", OpClass.NOP, SHAPE_NONE),
+))
+
+#: Branch-condition evaluators (value compared against zero).
+CONDITIONS = {
+    "eq": lambda v: v == 0,
+    "ne": lambda v: v != 0,
+    "lt": lambda v: v < 0,
+    "ge": lambda v: v >= 0,
+    "gt": lambda v: v > 0,
+    "le": lambda v: v <= 0,
+}

@@ -1,0 +1,66 @@
+"""Decoded-program container for SimISA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import InstructionSpec
+
+#: Address of the first instruction (arbitrary, nonzero for realism).
+TEXT_BASE = 0x400
+
+
+@dataclass
+class Instruction:
+    """One decoded SimISA instruction."""
+
+    spec: InstructionSpec
+    dest: Optional[int] = None       # flat logical register
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    immediate: Optional[int] = None
+    target: Optional[str] = None     # branch label (resolved separately)
+    line: int = 0                    # source line, for diagnostics
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.spec.mnemonic]
+        for value in (self.dest, self.src1, self.src2):
+            if value is not None:
+                parts.append(f"x{value}")
+        if self.immediate is not None:
+            parts.append(f"#{self.immediate}")
+        if self.target is not None:
+            parts.append(self.target)
+        return " ".join(parts)
+
+
+@dataclass
+class Program:
+    """A fully assembled program: instructions plus resolved labels."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    source_name: str = "<memory>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_of_index(self, index: int) -> int:
+        return TEXT_BASE + 4 * index
+
+    def index_of_label(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"undefined label {label!r}") from None
+
+    def resolve_targets(self) -> None:
+        """Check every branch target exists (second assembler pass)."""
+        for instruction in self.instructions:
+            if instruction.target is not None:
+                if instruction.target not in self.labels:
+                    raise AssemblyError(
+                        f"undefined label {instruction.target!r}",
+                        instruction.line)

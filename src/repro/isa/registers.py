@@ -1,0 +1,64 @@
+"""Register model of the SimISA mini-ISA.
+
+SimISA is a SPARC-flavoured load/store ISA used to produce *real* traces
+(assembled, functionally executed programs) alongside the synthetic
+generator.  It exposes 32 integer registers ``r0..r31`` (``r0`` is the
+architectural zero: reads return 0, writes are discarded) and 32
+floating-point registers ``f0..f31``.
+
+Trace encoding: integer register ``ri`` is flat logical register ``i``;
+floating-point register ``fi`` is flat logical register ``32 + i``
+(:mod:`repro.trace.model` convention).  Simulating SimISA traces therefore
+requires a machine configuration with ``int_logical_registers=32`` and
+``fp_logical_registers=32`` - see :func:`isa_machine_config`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import AssemblyError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Flat-trace index of the first FP register.
+FP_BASE = NUM_INT_REGS
+
+_REGISTER_RE = re.compile(r"^([rf])(\d{1,2})$")
+
+
+def parse_register(token: str, line: Optional[int] = None) -> int:
+    """Parse ``rN``/``fN`` into a flat logical register index."""
+    match = _REGISTER_RE.match(token.strip().lower())
+    if not match:
+        raise AssemblyError(f"bad register name {token!r}", line)
+    bank, number = match.group(1), int(match.group(2))
+    limit = NUM_INT_REGS if bank == "r" else NUM_FP_REGS
+    if number >= limit:
+        raise AssemblyError(f"register {token!r} out of range", line)
+    return number if bank == "r" else FP_BASE + number
+
+
+def is_fp(flat_register: int) -> bool:
+    return flat_register >= FP_BASE
+
+
+def register_name(flat_register: int) -> str:
+    """Inverse of :func:`parse_register`."""
+    if flat_register < 0 or flat_register >= FP_BASE + NUM_FP_REGS:
+        raise ValueError(f"no such register: {flat_register}")
+    if is_fp(flat_register):
+        return f"f{flat_register - FP_BASE}"
+    return f"r{flat_register}"
+
+
+def isa_machine_config(base):
+    """Adapt a :class:`repro.config.MachineConfig` to SimISA traces.
+
+    Returns a copy of ``base`` with the SimISA logical register counts;
+    everything else (specialization, policies, sizes) is preserved.
+    """
+    return base.with_changes(int_logical_registers=NUM_INT_REGS,
+                             fp_logical_registers=NUM_FP_REGS)

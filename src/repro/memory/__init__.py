@@ -1,0 +1,6 @@
+"""Data-memory hierarchy (Table 3)."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["AccessResult", "Cache", "MemoryHierarchy"]

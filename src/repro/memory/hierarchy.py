@@ -1,0 +1,100 @@
+"""Two-level data-memory hierarchy with the Table 3 timing.
+
+==========  ======  =========  ============  ============
+level       size    latency    miss penalty  bandwidth
+==========  ======  =========  ============  ============
+L1 D-cache  32 KB   2 cycles   12 cycles     4 words/cycle
+L2 cache    512 KB  12 cycles  80 cycles     16 B/cycle
+==========  ======  =========  ============  ============
+
+The model composes latencies the way the paper's table does: an access
+costs the L1 hit latency; an L1 miss adds the 12-cycle penalty; an L2 miss
+adds a further 80 cycles.  The 16 B/cycle L2 bandwidth is modelled as a
+refill bus that is busy for ``line_bytes / 16`` cycles per L1 miss;
+back-to-back misses queue on that bus.  L1 port arbitration (4 accesses
+per cycle) is enforced by the core's load/store issue logic - each cluster
+has a single load/store unit, so at most 4 accesses start per cycle by
+construction, matching the table.
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.memory.cache import Cache
+
+
+class AccessResult:
+    """Outcome of one data access."""
+
+    __slots__ = ("latency", "l1_hit", "l2_hit")
+
+    def __init__(self, latency: int, l1_hit: bool, l2_hit: bool) -> None:
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+
+
+class MemoryHierarchy:
+    """L1 + L2 + main memory, shared by all clusters."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+        self.config.validate()
+        self.l1 = Cache(self.config.l1)
+        self.l2 = Cache(self.config.l2)
+        self._l2_bus_free_at = 0
+        self.loads = 0
+        self.stores = 0
+
+    def access(self, addr: int, cycle: int, is_store: bool = False,
+               ) -> AccessResult:
+        """Perform an access starting at ``cycle``; returns its timing.
+
+        ``latency`` is the full load-to-use latency in cycles (2 on an L1
+        hit, per Table 2/3).  Stores update cache state identically
+        (write-allocate) but the core does not wait on their latency.
+        """
+        if is_store:
+            self.stores += 1
+        else:
+            self.loads += 1
+        l1_hit = self.l1.access(addr)
+        if l1_hit:
+            return AccessResult(self.config.l1.hit_latency, True, False)
+
+        l2_hit = self.l2.access(addr)
+        latency = self.config.l1.hit_latency + self.config.l1.miss_penalty
+        if not l2_hit:
+            latency += self.config.l2.miss_penalty
+
+        # Refill bus: the miss occupies the L2-to-L1 path once its data is
+        # ready; earlier queued refills delay it.
+        data_ready = cycle + latency
+        start = max(data_ready, self._l2_bus_free_at)
+        queue_delay = start - data_ready
+        self._l2_bus_free_at = start + self.config.l2_refill_cycles
+        return AccessResult(latency + queue_delay, False, l2_hit)
+
+    def warm(self, addresses, cycle: int = 0) -> None:
+        """Touch a sequence of addresses (cache warm-up helper)."""
+        for addr in addresses:
+            self.access(addr, cycle)
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.loads = 0
+        self.stores = 0
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    def summary(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "l1_miss_rate": self.l1.miss_rate,
+            "l2_miss_rate": self.l2.miss_rate,
+        }

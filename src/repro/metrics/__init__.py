@@ -1,0 +1,5 @@
+"""Evaluation metrics (IPC comes from the stats; Figure 5 unbalance here)."""
+
+from repro.metrics.unbalance import group_is_unbalanced, unbalancing_degree
+
+__all__ = ["group_is_unbalanced", "unbalancing_degree"]

@@ -1,0 +1,74 @@
+"""Workload-unbalancing metric of Figure 5.
+
+Section 5.4.2: "we split the applications in groups of 128 instructions
+and measure the ratio of these groups that are unbalanced.  We arbitrarily
+define a group as unbalanced whenever one of the four clusters gets less
+than 24 instructions or more than 40 instructions.  We define the
+unbalancing degree of an application as the ratio of unbalanced
+instruction groups in the application."
+
+The simulator's statistics track this incrementally
+(:class:`repro.core.stats.SimulationStats`); this module provides the
+same computation as a standalone function over any allocation sequence,
+used by tests (cross-checking the incremental version) and by analyses
+that replay recorded allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.stats import UNBALANCE_GROUP, UNBALANCE_HIGH, UNBALANCE_LOW
+
+
+def group_is_unbalanced(counts: Sequence[int], low: int = UNBALANCE_LOW,
+                        high: int = UNBALANCE_HIGH) -> bool:
+    """The paper's per-group criterion: any cluster < low or > high."""
+    return min(counts) < low or max(counts) > high
+
+
+def unbalancing_degree(
+    cluster_sequence: Iterable[int],
+    num_clusters: int = 4,
+    group_size: int = UNBALANCE_GROUP,
+    low: int = UNBALANCE_LOW,
+    high: int = UNBALANCE_HIGH,
+) -> float:
+    """Unbalancing degree (in %) of an allocation sequence.
+
+    ``cluster_sequence`` yields the execution cluster of each dynamic
+    instruction in program order.  A trailing partial group is ignored,
+    as in the paper's definition.
+    """
+    counts = [0] * num_clusters
+    filled = 0
+    groups = 0
+    unbalanced = 0
+    for cluster in cluster_sequence:
+        counts[cluster] += 1
+        filled += 1
+        if filled == group_size:
+            groups += 1
+            if group_is_unbalanced(counts, low, high):
+                unbalanced += 1
+            counts = [0] * num_clusters
+            filled = 0
+    if not groups:
+        return 0.0
+    return 100.0 * unbalanced / groups
+
+
+def group_counts(cluster_sequence: Iterable[int], num_clusters: int = 4,
+                 group_size: int = UNBALANCE_GROUP) -> List[List[int]]:
+    """Per-group per-cluster instruction counts (diagnostic helper)."""
+    result: List[List[int]] = []
+    counts = [0] * num_clusters
+    filled = 0
+    for cluster in cluster_sequence:
+        counts[cluster] += 1
+        filled += 1
+        if filled == group_size:
+            result.append(counts)
+            counts = [0] * num_clusters
+            filled = 0
+    return result

@@ -1,0 +1,110 @@
+"""Free lists of physical registers, plus the recycling pipeline.
+
+Section 2.2 of the paper describes two implementations of Task (B) -
+assigning a free physical register to every renamed instruction - under
+register write specialization:
+
+* **Implementation 1** picks ``N`` (the rename width) registers from
+  *every* subset's free list each cycle and uses the cluster assignment to
+  select one per instruction.  The many unused registers must be
+  *recycled*: they re-enter the free list only after flowing through a
+  multi-stage recycling pipeline (build lists / pack / merge / append).
+  While in flight through that pipeline they are inaccessible - the
+  "residual problem" the paper notes.  :class:`RecyclingPipeline` models
+  exactly this.
+
+* **Implementation 2** first computes, from the subset target vector, the
+  exact number of registers needed from each free list and picks only
+  those.  No recycling is needed; the price is a longer renaming pipeline
+  (captured in the configuration's misprediction penalty).
+
+Registers freed at commit also traverse the recycling pipeline under
+implementation 1; under implementation 2 they return to the free list
+directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List
+
+from repro.errors import FreeListUnderflow
+
+
+class FreeList:
+    """FIFO free list of physical register identifiers."""
+
+    def __init__(self, registers: Iterable[int]) -> None:
+        self._queue: Deque[int] = deque(registers)
+
+    @property
+    def available(self) -> int:
+        return len(self._queue)
+
+    def pick(self) -> int:
+        """Remove and return one free register."""
+        if not self._queue:
+            raise FreeListUnderflow("free list is empty")
+        return self._queue.popleft()
+
+    def pick_many(self, count: int) -> List[int]:
+        """Remove and return ``count`` registers (all or nothing)."""
+        if count > len(self._queue):
+            raise FreeListUnderflow(
+                f"asked for {count} registers, {len(self._queue)} available")
+        return [self._queue.popleft() for _ in range(count)]
+
+    def release(self, register: int) -> None:
+        """Return one register to the tail of the list."""
+        self._queue.append(register)
+
+    def release_many(self, registers: Iterable[int]) -> None:
+        self._queue.extend(registers)
+
+    def __contains__(self, register: int) -> bool:
+        return register in self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class RecyclingPipeline:
+    """The free-register recycling pipeline of implementation 1.
+
+    A fixed-depth shift register of register batches.  Batches inserted at
+    cycle *t* become visible in the free list again ``depth`` calls to
+    :meth:`tick` later.  Registers inside the pipeline are counted by
+    :attr:`in_flight` - they exist but cannot be renamed to, which is what
+    makes implementation 1 hungrier for physical registers.
+    """
+
+    def __init__(self, free_list: FreeList, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("recycling pipeline depth must be >= 1")
+        self.free_list = free_list
+        self.depth = depth
+        self._stages: Deque[List[int]] = deque(
+            [[] for _ in range(depth)], maxlen=depth)
+        self.in_flight = 0
+
+    def insert(self, registers: Iterable[int]) -> None:
+        """Feed registers into the first pipeline stage."""
+        batch = list(registers)
+        self._stages[-1].extend(batch)
+        self.in_flight += len(batch)
+
+    def tick(self) -> int:
+        """Advance one cycle; returns how many registers were recycled."""
+        recycled = self._stages.popleft()
+        self._stages.append([])
+        if recycled:
+            self.free_list.release_many(recycled)
+            self.in_flight -= len(recycled)
+        return len(recycled)
+
+    def drain(self) -> None:
+        """Flush everything back to the free list (end-of-run cleanup)."""
+        for stage in self._stages:
+            self.free_list.release_many(stage)
+            stage.clear()
+        self.in_flight = 0

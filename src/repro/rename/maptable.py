@@ -1,0 +1,67 @@
+"""Logical-to-physical register map table.
+
+Task (C) of the renaming decomposition in section 2.2: read the current
+mapping of each source operand and install the new mapping of each
+destination.  Dependency propagation within a rename group (Task (A)) is
+implicit here because the simulator renames instructions one at a time in
+program order - the map table always reflects all older instructions.
+
+The table also exposes the per-logical-register *subset* bits that section
+3.2 calls the ``f`` and ``s`` vectors: on a WSRS machine the subset number
+of the physical register currently mapped to logical register ``Ri`` is
+``2*f_i + s_i``, and cluster allocation reads exactly these bits.  Here the
+subset is recovered from the physical register number (registers are
+numbered consecutively within subsets), which is information-equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class MapTable:
+    """One register class's logical-to-physical mapping."""
+
+    def __init__(self, num_logical: int, initial_physical: List[int]) -> None:
+        if len(initial_physical) != num_logical:
+            raise ValueError("need one initial physical register per "
+                             "logical register")
+        self.num_logical = num_logical
+        self._map: List[int] = list(initial_physical)
+
+    def lookup(self, logical: int) -> int:
+        """Current physical register of ``logical``."""
+        return self._map[logical]
+
+    def install(self, logical: int, physical: int) -> int:
+        """Map ``logical`` to ``physical``; returns the *previous* mapping.
+
+        The previous physical register must be freed when the renamed
+        instruction commits (it holds the last committed value until then).
+        """
+        previous = self._map[logical]
+        self._map[logical] = physical
+        return previous
+
+    def snapshot(self) -> List[int]:
+        """A copy of the full mapping (tests, deadlock analysis)."""
+        return list(self._map)
+
+    def mapped_physicals(self) -> List[int]:
+        return list(self._map)
+
+    def count_mapped_in_range(self, low: int, high: int) -> int:
+        """How many logical registers map into ``[low, high)``.
+
+        Used by the deadlock detector of section 2.3: a subset whose every
+        physical register is architecturally mapped can never supply a
+        rename target again.
+        """
+        return sum(1 for phys in self._map if low <= phys < high)
+
+    def find_logical_for(self, physical: int) -> Optional[int]:
+        """The logical register currently mapped to ``physical``, if any."""
+        try:
+            return self._map.index(physical)
+        except ValueError:
+            return None

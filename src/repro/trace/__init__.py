@@ -1,0 +1,29 @@
+"""Workloads: the trace model, synthetic SPEC-shaped generation,
+assembly microbenchmarks and trace persistence."""
+
+from repro.trace.model import OpClass, TraceInstruction, validate_trace
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    PROFILES,
+    benchmark_names,
+    get_profile,
+    spec_trace,
+)
+from repro.trace.synthetic import SyntheticTraceGenerator, WorkloadProfile
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INTEGER_BENCHMARKS",
+    "OpClass",
+    "PROFILES",
+    "SyntheticTraceGenerator",
+    "TraceInstruction",
+    "WorkloadProfile",
+    "benchmark_names",
+    "get_profile",
+    "spec_trace",
+    "validate_trace",
+]

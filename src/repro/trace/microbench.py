@@ -1,0 +1,292 @@
+"""Assembly microbenchmarks: real executed traces for the simulator.
+
+Each microbenchmark is a hand-written SimISA kernel, assembled and
+functionally executed (:mod:`repro.isa`), giving the simulator genuine
+program dataflow: true loop-carried dependences, real branch outcomes,
+real addresses.  They complement the statistical SPEC-shaped generator
+and back the examples and cross-check tests.
+
+Available kernels (``microbenchmark_trace(name)``):
+
+* ``daxpy``      - ``y[i] += a * x[i]`` over a vector (streaming FP);
+* ``reduction``  - serial FP sum of a vector (latency-bound chain);
+* ``memcpy``     - word copy loop (load/store throughput);
+* ``pointer_chase`` - linked-list walk (serial loads, mcf-style);
+* ``fib``        - scalar integer Fibonacci loop (tight ALU chain);
+* ``matmul``     - naive NxN FP matrix multiply;
+* ``bubble_sort`` - in-place sort (data-dependent branches - the
+  hard-to-predict control of vpr/gcc-class codes);
+* ``histogram``  - bucket counting (read-modify-write store traffic with
+  data-dependent addresses).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.errors import TraceError
+from repro.isa.assembler import assemble
+from repro.isa.executor import Executor
+from repro.isa.program import Program
+from repro.trace.model import TraceInstruction
+
+DAXPY = """
+; y[i] += a * x[i], arrays at 0x1000 (x) and 0x8000 (y)
+    mov   r1, #0          ; i
+    mov   r2, #{n}        ; n
+    mov   r3, #0x1000     ; &x[0]
+    mov   r4, #0x8000     ; &y[0]
+loop:
+    ldf   f1, r3, #0
+    fmul  f2, f1, f0      ; a in f0
+    ldf   f3, r4, #0
+    fadd  f3, f3, f2
+    stf   f3, r4, #0
+    add   r3, r3, #8
+    add   r4, r4, #8
+    add   r1, r1, #1
+    sub   r5, r1, r2
+    blt   r5, loop
+    halt
+"""
+
+REDUCTION = """
+; s = sum(x[0..n-1]) - a serial FP dependence chain
+    mov   r1, #0
+    mov   r2, #{n}
+    mov   r3, #0x1000
+    fmov  f1, f0          ; s = 0.0 (f0 stays 0)
+loop:
+    ldf   f2, r3, #0
+    fadd  f1, f1, f2
+    add   r3, r3, #8
+    add   r1, r1, #1
+    sub   r5, r1, r2
+    blt   r5, loop
+    halt
+"""
+
+MEMCPY = """
+; dst[i] = src[i] word copy
+    mov   r1, #0
+    mov   r2, #{n}
+    mov   r3, #0x1000     ; src
+    mov   r4, #0x8000     ; dst
+loop:
+    ld    r5, r3, #0
+    st    r5, r4, #0
+    add   r3, r3, #8
+    add   r4, r4, #8
+    add   r1, r1, #1
+    sub   r6, r1, r2
+    blt   r6, loop
+    halt
+"""
+
+POINTER_CHASE = """
+; p = *p walked n times; the list is pre-built by the harness
+    mov   r1, #0
+    mov   r2, #{n}
+    mov   r3, #0x1000     ; head
+loop:
+    ld    r3, r3, #0      ; p = *p (serial)
+    add   r1, r1, #1
+    sub   r5, r1, r2
+    blt   r5, loop
+    halt
+"""
+
+FIB = """
+; n iterations of the Fibonacci recurrence
+    mov   r1, #0
+    mov   r2, #{n}
+    mov   r3, #0          ; a
+    mov   r4, #1          ; b
+loop:
+    add   r5, r3, r4      ; a + b
+    mov   r3, r4
+    mov   r4, r5
+    add   r1, r1, #1
+    sub   r6, r1, r2
+    blt   r6, loop
+    halt
+"""
+
+MATMUL = """
+; C[i][j] = sum_k A[i][k] * B[k][j], N = {n}
+; A at 0x1000, B at 0x20000, C at 0x40000, row-major, 8-byte elements
+    mov   r1, #0          ; i
+mm_i:
+    mov   r2, #0          ; j
+mm_j:
+    fmov  f1, f0          ; acc = 0.0
+    mov   r3, #0          ; k
+mm_k:
+    ; &A[i][k] = A + (i*N + k) * 8
+    mul   r4, r1, #{n}
+    add   r4, r4, r3
+    sll   r4, r4, #3
+    add   r4, r4, #0x1000
+    ldf   f2, r4, #0
+    ; &B[k][j] = B + (k*N + j) * 8
+    mul   r5, r3, #{n}
+    add   r5, r5, r2
+    sll   r5, r5, #3
+    add   r5, r5, #0x20000
+    ldf   f3, r5, #0
+    fmul  f4, f2, f3
+    fadd  f1, f1, f4
+    add   r3, r3, #1
+    sub   r6, r3, #{n}
+    blt   r6, mm_k
+    ; &C[i][j]
+    mul   r7, r1, #{n}
+    add   r7, r7, r2
+    sll   r7, r7, #3
+    add   r7, r7, #0x40000
+    stf   f1, r7, #0
+    add   r2, r2, #1
+    sub   r6, r2, #{n}
+    blt   r6, mm_j
+    add   r1, r1, #1
+    sub   r6, r1, #{n}
+    blt   r6, mm_i
+    halt
+"""
+
+
+BUBBLE_SORT = """
+; in-place bubble sort of n words at 0x1000 (data-dependent branches)
+    mov   r1, #0          ; pass counter
+outer:
+    mov   r2, #0          ; index
+    mov   r9, #0x1000
+inner:
+    ld    r3, r9, #0
+    ld    r4, r9, #8
+    sub   r5, r3, r4
+    ble   r5, ordered     ; skip the swap when already ordered
+    st    r4, r9, #0
+    st    r3, r9, #8
+ordered:
+    add   r9, r9, #8
+    add   r2, r2, #1
+    sub   r5, r2, #{last}
+    blt   r5, inner
+    add   r1, r1, #1
+    sub   r5, r1, #{n}
+    blt   r5, outer
+    halt
+"""
+
+HISTOGRAM = """
+; histogram of n values at 0x1000 into 16 buckets at 0x8000
+    mov   r1, #0
+    mov   r2, #{n}
+    mov   r3, #0x1000
+loop:
+    ld    r4, r3, #0
+    and   r5, r4, #15     ; bucket = value & 15
+    sll   r5, r5, #3
+    add   r5, r5, #0x8000
+    ld    r6, r5, #0      ; read-modify-write the bucket
+    add   r6, r6, #1
+    st    r6, r5, #0
+    add   r3, r3, #8
+    add   r1, r1, #1
+    sub   r7, r1, r2
+    blt   r7, loop
+    halt
+"""
+
+
+def _prepare_pointer_chase(executor: Executor, n: int) -> None:
+    """Pre-build a shuffled singly linked list at 0x1000."""
+    import random
+
+    nodes = list(range(n))
+    random.Random(7).shuffle(nodes)
+    base = 0x1000
+    for position, node in enumerate(nodes):
+        successor = nodes[(position + 1) % len(nodes)]
+        executor.store(base + 16 * node, base + 16 * successor)
+
+
+def _prepare_vector(executor: Executor, n: int) -> None:
+    for index in range(n):
+        executor.store(0x1000 + 8 * index, float(index % 17) * 0.5)
+        executor.store(0x8000 + 8 * index, 1.0)
+
+
+def _prepare_int_vector(executor: Executor, n: int) -> None:
+    # memcpy moves data through integer registers, which truncate
+    # fractional values; give it integer payloads.
+    for index in range(n):
+        executor.store(0x1000 + 8 * index, index * 3 + 1)
+
+
+def _prepare_sort_input(executor: Executor, n: int) -> None:
+    import random
+
+    rng = random.Random(11)
+    values = list(range(n))
+    rng.shuffle(values)
+    for index, value in enumerate(values):
+        executor.store(0x1000 + 8 * index, value)
+
+
+def _prepare_histogram_input(executor: Executor, n: int) -> None:
+    import random
+
+    rng = random.Random(13)
+    for index in range(n):
+        executor.store(0x1000 + 8 * index, rng.randrange(1 << 16))
+
+
+def _prepare_matrices(executor: Executor, n: int) -> None:
+    for index in range(n * n):
+        executor.store(0x1000 + 8 * index, float(index % 7))
+        executor.store(0x20000 + 8 * index, float(index % 5) * 0.25)
+
+
+_KERNELS: Dict[str, tuple] = {
+    # name -> (source template, default n, memory initialiser)
+    "daxpy": (DAXPY, 512, _prepare_vector),
+    "reduction": (REDUCTION, 512, _prepare_vector),
+    "memcpy": (MEMCPY, 512, _prepare_int_vector),
+    "pointer_chase": (POINTER_CHASE, 256, _prepare_pointer_chase),
+    "fib": (FIB, 1024, None),
+    "matmul": (MATMUL, 12, _prepare_matrices),
+    "bubble_sort": (BUBBLE_SORT, 24, _prepare_sort_input),
+    "histogram": (HISTOGRAM, 512, _prepare_histogram_input),
+}
+
+
+def microbenchmark_names() -> List[str]:
+    return sorted(_KERNELS)
+
+
+def microbenchmark_program(name: str, n: int | None = None) -> Program:
+    """Assemble a kernel (without executing it)."""
+    try:
+        template, default_n, _ = _KERNELS[name]
+    except KeyError:
+        raise TraceError(
+            f"unknown microbenchmark {name!r}; choose from "
+            f"{microbenchmark_names()}") from None
+    size = n if n is not None else default_n
+    return assemble(template.format(n=size, last=size - 1), name=name)
+
+
+def microbenchmark_trace(name: str, n: int | None = None,
+                         max_instructions: int = 2_000_000,
+                         ) -> Iterator[TraceInstruction]:
+    """Assemble, initialise memory, execute; yields the executed trace."""
+    template, default_n, initializer = _KERNELS[name] \
+        if name in _KERNELS else (None, None, None)
+    program = microbenchmark_program(name, n)
+    executor = Executor(program)
+    size = n if n is not None else default_n
+    if initializer is not None:
+        initializer(executor, size)
+    return executor.run(max_instructions)

@@ -1,0 +1,219 @@
+"""Canonical dynamic-instruction record consumed by the simulator.
+
+The paper's evaluation is trace-driven at the level of *register dataflow*:
+what matters to renaming, cluster allocation and issue is which logical
+registers an instruction reads and writes, its operation class (which fixes
+its latency and functional-unit needs), whether it is a branch (and whether
+the branch was taken), and - for memory operations - its effective address.
+
+Both trace producers in this library emit :class:`TraceInstruction` objects:
+
+* :mod:`repro.trace.synthetic` - the calibrated SPEC-named generator, and
+* :mod:`repro.isa.executor` - the functional executor of the mini-ISA.
+
+Register naming convention
+--------------------------
+Traces use a single flat logical-register space.  Integer registers occupy
+indices ``0 .. num_int_regs - 1``; floating-point registers occupy
+``num_int_regs .. num_int_regs + num_fp_regs - 1``.  The machine
+configuration (:class:`repro.config.MachineConfig`) records the boundary, so
+the renamer can route each operand to the right physical register file.
+``None`` means "no register in this slot".
+
+The paper's terminology (section 3.3) is kept: an instruction with two
+register source operands is *dyadic*, with exactly one *monadic*, with none
+*noadic* - independently of any immediate operand.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Optional
+
+
+class OpClass(IntEnum):
+    """Operation classes, one per latency/functional-unit behaviour.
+
+    The classes mirror Table 2 of the paper: loads (latency 2), integer ALU
+    (1), integer multiply/divide (15), FP add/multiply (4), FP
+    divide/square-root (15).  Stores and branches execute on the
+    load/store unit and the ALU respectively.
+    """
+
+    IALU = 0
+    IMULDIV = 1
+    LOAD = 2
+    STORE = 3
+    BRANCH = 4
+    FPADD = 5
+    FPMUL = 6
+    FPDIV = 7
+    NOP = 8
+
+
+#: Operation classes executed by the (single, per cluster) load/store unit.
+MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+#: Operation classes executed by the floating-point unit.
+FP_CLASSES = frozenset({OpClass.FPADD, OpClass.FPMUL, OpClass.FPDIV})
+
+#: Operation classes executed by the integer ALUs (branches resolve there).
+INT_CLASSES = frozenset(
+    {OpClass.IALU, OpClass.IMULDIV, OpClass.BRANCH, OpClass.NOP}
+)
+
+
+class TraceInstruction:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    op:
+        The :class:`OpClass` of the instruction.
+    dest:
+        Destination logical register, or ``None`` for instructions that do
+        not produce a register result (stores, branches, nops).
+    src1, src2:
+        Source logical registers.  ``None`` marks an absent register
+        operand (the slot may still carry an immediate architecturally;
+        immediates are irrelevant to this study and are not represented).
+    pc:
+        Instruction address.  Only branches strictly need it (predictor
+        indexing) but producers fill it for every instruction.
+    taken:
+        For branches, the actual outcome; ignored otherwise.
+    addr:
+        For loads/stores, the effective byte address; ignored otherwise.
+    commutative:
+        For dyadic instructions, whether the two source operands may be
+        swapped (add, or, xor, ... - the degree of freedom of section 3.3).
+    """
+
+    __slots__ = ("op", "dest", "src1", "src2", "pc", "taken", "addr",
+                 "commutative")
+
+    def __init__(
+        self,
+        op: OpClass,
+        dest: Optional[int] = None,
+        src1: Optional[int] = None,
+        src2: Optional[int] = None,
+        pc: int = 0,
+        taken: bool = False,
+        addr: int = 0,
+        commutative: bool = False,
+    ) -> None:
+        self.op = op
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.pc = pc
+        self.taken = taken
+        self.addr = addr
+        self.commutative = commutative
+
+    # -- register-operand structure ------------------------------------
+
+    @property
+    def register_operands(self) -> List[int]:
+        """The register sources actually present, in slot order."""
+        operands = []
+        if self.src1 is not None:
+            operands.append(self.src1)
+        if self.src2 is not None:
+            operands.append(self.src2)
+        return operands
+
+    @property
+    def num_register_operands(self) -> int:
+        return (self.src1 is not None) + (self.src2 is not None)
+
+    @property
+    def is_dyadic(self) -> bool:
+        """Two register source operands (section 3.3 terminology)."""
+        return self.src1 is not None and self.src2 is not None
+
+    @property
+    def is_monadic(self) -> bool:
+        """Exactly one register source operand."""
+        return (self.src1 is not None) != (self.src2 is not None)
+
+    @property
+    def is_noadic(self) -> bool:
+        """No register source operand."""
+        return self.src1 is None and self.src2 is None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op == OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op == OpClass.LOAD or self.op == OpClass.STORE
+
+    @property
+    def has_dest(self) -> bool:
+        return self.dest is not None
+
+    def swapped(self) -> "TraceInstruction":
+        """A copy of this instruction with src1 and src2 interchanged.
+
+        Used by allocation policies exploiting commutativity; the caller is
+        responsible for only swapping instructions where this is legal.
+        """
+        return TraceInstruction(
+            op=self.op,
+            dest=self.dest,
+            src1=self.src2,
+            src2=self.src1,
+            pc=self.pc,
+            taken=self.taken,
+            addr=self.addr,
+            commutative=self.commutative,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.name]
+        if self.dest is not None:
+            parts.append(f"d=r{self.dest}")
+        if self.src1 is not None:
+            parts.append(f"s1=r{self.src1}")
+        if self.src2 is not None:
+            parts.append(f"s2=r{self.src2}")
+        if self.is_branch:
+            parts.append("T" if self.taken else "NT")
+        if self.is_memory:
+            parts.append(f"@{self.addr:#x}")
+        return f"<TraceInstruction {' '.join(parts)} pc={self.pc:#x}>"
+
+
+def validate_trace(
+    instructions: Iterable[TraceInstruction],
+    num_logical_registers: int,
+) -> Iterator[TraceInstruction]:
+    """Yield instructions, checking register indices are in range.
+
+    A convenience wrapper for tests and for ingesting externally produced
+    traces; raises :class:`repro.errors.TraceError` on the first bad record.
+    """
+    from repro.errors import TraceError
+
+    for position, inst in enumerate(instructions):
+        for name in ("dest", "src1", "src2"):
+            reg = getattr(inst, name)
+            if reg is not None and not 0 <= reg < num_logical_registers:
+                raise TraceError(
+                    f"instruction {position}: {name}={reg} outside "
+                    f"[0, {num_logical_registers})"
+                )
+        if inst.is_memory and inst.addr < 0:
+            raise TraceError(f"instruction {position}: negative address")
+        yield inst

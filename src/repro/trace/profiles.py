@@ -1,0 +1,227 @@
+"""Calibrated synthetic profiles for the paper's twelve benchmarks.
+
+Section 5.3: the paper evaluates 5 SPECint2000 (gzip, vpr, gcc, mcf,
+crafty) and 7 SPECfp2000 (wupwise, swim, mgrid, applu, galgel, equake,
+facerec) programs with the ref inputs.  The real binaries are replaced by
+:class:`repro.trace.synthetic.SyntheticTraceGenerator` profiles whose
+parameters encode each benchmark's published character:
+
+* **gzip** - compression: tight integer loops, small working set, regular
+  branches, high ILP.
+* **vpr** - place & route: branchy, data-dependent control, medium
+  footprint; mediocre prediction.
+* **gcc** - compiler: very branchy, large code/data footprint, short
+  dependence chains.
+* **mcf** - network simplex: serial pointer chasing over a huge working
+  set; memory-bound, lowest IPC of the suite.
+* **crafty** - chess: high-ILP integer with heavy logical ops
+  (commutative), good prediction.
+* **wupwise** - quantum chromodynamics: dense FP multiply/add on matrices
+  held partly in invariant registers; high IPC, near-perfect branches.
+* **swim** - shallow-water stencil: streaming FP over large arrays;
+  bandwidth-sensitive.
+* **mgrid** - multigrid stencil: FP adds dominate, large arrays, long
+  loops.
+* **applu** - SSOR solver: FP with some divides, large arrays.
+* **galgel** - fluid dynamics (BLAS-ish): cache-resident blocks, very
+  high FP ILP.
+* **equake** - earthquake FEM: sparse matrix-vector, irregular gathers;
+  memory-latency bound.
+* **facerec** - face recognition: FFT/correlation-style FP with many
+  loop-invariant coefficient registers; highest FP IPC and (per Figure 5)
+  near-100% WSRS unbalancing.
+
+The absolute IPCs of the paper's SimpleScalar-class machine are not
+reproducible from mix statistics alone; the calibration targets the
+*relations* Figures 4 and 5 rely on (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import TraceError
+from repro.trace.model import TraceInstruction
+from repro.trace.synthetic import SyntheticTraceGenerator, WorkloadProfile
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def _integer(name: str, description: str, **kwargs) -> WorkloadProfile:
+    defaults = dict(
+        kind="int",
+        frac_fp=0.0,
+        frac_fpmul=0.0,
+        frac_fpdiv=0.0,
+        frac_fp_load=0.0,
+        num_fp_invariants=4,
+        temp_pool_fp=8,
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(name=name, description=description, **defaults)
+
+
+def _floating(name: str, description: str, **kwargs) -> WorkloadProfile:
+    defaults = dict(
+        kind="fp",
+        frac_branch=0.06,
+        internal_branch_bias=0.985,
+        branch_bias_spread=0.01,
+        mean_iterations=200,
+        frac_alu_monadic=0.7,
+        num_loops=4,
+        blocks_per_loop=2,
+        dep_window=20,
+        temp_pool_int=28,
+        temp_pool_fp=18,
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(name=name, description=description, **defaults)
+
+
+PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        _integer(
+            "gzip", "compression; tight predictable loops, high ILP",
+            frac_load=0.22, frac_store=0.08, frac_branch=0.13,
+            frac_alu_monadic=0.58, frac_commutative=0.7,
+            invariant_operand_prob=0.12, dep_locality=0.35, dep_window=20,
+            temp_pool_int=32,
+            num_loops=5, blocks_per_loop=3, mean_iterations=80,
+            internal_branch_bias=0.95, branch_bias_spread=0.03,
+            ws_bytes=128 * _KB, stride_bytes=8, frac_random_access=0.05,
+        ),
+        _integer(
+            "vpr", "place & route; branchy, data-dependent control",
+            frac_load=0.26, frac_store=0.09, frac_branch=0.17,
+            frac_alu_monadic=0.55, frac_commutative=0.6,
+            invariant_operand_prob=0.15, dep_locality=0.3, dep_window=20,
+            num_loops=8, blocks_per_loop=4, mean_iterations=25,
+            internal_branch_bias=0.93, branch_bias_spread=0.05,
+            ws_bytes=384 * _KB, stride_bytes=16, frac_random_access=0.15,
+        ),
+        _integer(
+            "gcc", "compiler; very branchy, large footprint",
+            frac_load=0.25, frac_store=0.12, frac_branch=0.19,
+            frac_alu_monadic=0.58, frac_commutative=0.55,
+            invariant_operand_prob=0.12, dep_locality=0.3, dep_window=20,
+            num_loops=10, blocks_per_loop=5, mean_iterations=20,
+            internal_branch_bias=0.935, branch_bias_spread=0.04,
+            ws_bytes=512 * _KB, stride_bytes=16, frac_random_access=0.12,
+        ),
+        _integer(
+            "mcf", "network simplex; pointer chasing, memory bound",
+            frac_load=0.32, frac_store=0.09, frac_branch=0.17,
+            frac_alu_monadic=0.52, frac_commutative=0.55,
+            invariant_operand_prob=0.12, dep_locality=0.45, dep_window=14,
+            num_loops=4, blocks_per_loop=3, mean_iterations=45,
+            internal_branch_bias=0.93, branch_bias_spread=0.05,
+            ws_bytes=16 * _MB, stride_bytes=32, frac_random_access=0.2,
+            pointer_chase=True,
+        ),
+        _integer(
+            "crafty", "chess; high-ILP logical operations",
+            frac_load=0.24, frac_store=0.07, frac_branch=0.14,
+            frac_alu_monadic=0.52, frac_commutative=0.78,
+            invariant_operand_prob=0.16, dep_locality=0.32, dep_window=20,
+            temp_pool_int=32,
+            num_loops=6, blocks_per_loop=4, mean_iterations=30,
+            internal_branch_bias=0.945, branch_bias_spread=0.04,
+            ws_bytes=160 * _KB, stride_bytes=8, frac_random_access=0.1,
+        ),
+        _floating(
+            "wupwise", "QCD; dense FP multiply-add on register-held "
+                       "matrices",
+            frac_load=0.22, frac_store=0.08, frac_fp=0.35, frac_fpmul=0.5,
+            frac_fpdiv=0.0, invariant_operand_prob=0.42,
+            num_fp_invariants=8, dep_locality=0.25, dep_window=24,
+            ws_bytes=128 * _KB, stride_bytes=8, frac_random_access=0.02,
+            frac_fp_load=0.75,
+        ),
+        _floating(
+            "swim", "shallow-water stencil; streaming over large arrays",
+            frac_load=0.28, frac_store=0.12, frac_fp=0.3, frac_fpmul=0.45,
+            frac_fpdiv=0.0, invariant_operand_prob=0.28,
+            dep_locality=0.25, dep_window=24,
+            ws_bytes=6 * _MB, stride_bytes=8, frac_random_access=0.0,
+            frac_fp_load=0.8,
+        ),
+        _floating(
+            "mgrid", "multigrid stencil; FP adds over big grids",
+            frac_load=0.3, frac_store=0.08, frac_fp=0.32, frac_fpmul=0.35,
+            frac_fpdiv=0.0, invariant_operand_prob=0.3,
+            dep_locality=0.25, dep_window=24,
+            ws_bytes=4 * _MB, stride_bytes=8, frac_random_access=0.0,
+            frac_fp_load=0.8, mean_iterations=180,
+        ),
+        _floating(
+            "applu", "SSOR PDE solver; FP with occasional divides",
+            frac_load=0.26, frac_store=0.1, frac_fp=0.32, frac_fpmul=0.45,
+            frac_fpdiv=0.015, invariant_operand_prob=0.18,
+            num_fp_invariants=8, dep_locality=0.25, dep_window=24,
+            ws_bytes=4 * _MB, stride_bytes=8, frac_random_access=0.02,
+            frac_fp_load=0.85, mean_iterations=100,
+        ),
+        _floating(
+            "galgel", "fluid dynamics; cache-resident BLAS-like blocks",
+            frac_load=0.24, frac_store=0.07, frac_fp=0.38, frac_fpmul=0.5,
+            frac_fpdiv=0.0, invariant_operand_prob=0.32,
+            num_fp_invariants=8, dep_locality=0.22, dep_window=24,
+            ws_bytes=128 * _KB, stride_bytes=8, frac_random_access=0.02,
+            frac_fp_load=0.7, mean_iterations=90,
+        ),
+        _floating(
+            "equake", "earthquake FEM; sparse irregular gathers",
+            frac_load=0.3, frac_store=0.08, frac_fp=0.28, frac_fpmul=0.45,
+            frac_fpdiv=0.01, invariant_operand_prob=0.25,
+            dep_locality=0.4, dep_window=16,
+            internal_branch_bias=0.97, branch_bias_spread=0.02,
+            ws_bytes=4 * _MB, stride_bytes=16, frac_random_access=0.2,
+            frac_fp_load=0.7, mean_iterations=60,
+        ),
+        _floating(
+            "facerec", "face recognition; FFT-style FP with invariant "
+                       "coefficients",
+            frac_load=0.2, frac_store=0.06, frac_fp=0.42, frac_fpmul=0.55,
+            frac_fpdiv=0.0, invariant_operand_prob=0.48,
+            num_fp_invariants=10, dep_locality=0.22, dep_window=24,
+            ws_bytes=96 * _KB, stride_bytes=8, frac_random_access=0.0,
+            frac_fp_load=0.75,
+        ),
+    )
+}
+
+#: Figure 4/5 ordering.
+INTEGER_BENCHMARKS = ("gzip", "vpr", "gcc", "mcf", "crafty")
+FP_BENCHMARKS = ("wupwise", "swim", "mgrid", "applu", "galgel",
+                 "equake", "facerec")
+ALL_BENCHMARKS = INTEGER_BENCHMARKS + FP_BENCHMARKS
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look one of the twelve profiles up by benchmark name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise TraceError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(PROFILES)}") from None
+
+
+def spec_trace(name: str, count: int,
+               seed: int = 1) -> Iterator[TraceInstruction]:
+    """A ``count``-instruction trace of the named benchmark profile."""
+    return SyntheticTraceGenerator(get_profile(name), seed).generate(count)
+
+
+def benchmark_names(kind: str = "all") -> List[str]:
+    """Benchmark names by suite: ``"int"``, ``"fp"`` or ``"all"``."""
+    if kind == "int":
+        return list(INTEGER_BENCHMARKS)
+    if kind == "fp":
+        return list(FP_BENCHMARKS)
+    if kind == "all":
+        return list(ALL_BENCHMARKS)
+    raise TraceError(f"unknown suite {kind!r}; use 'int', 'fp' or 'all'")

@@ -1,0 +1,241 @@
+"""Tests for cluster-allocation policies (repro.allocation.policies)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.policies import (
+    Allocator,
+    DependenceAwareAllocator,
+    LeastLoadedAllocator,
+    RandomAllocator,
+    RandomCommutativeAllocator,
+    RandomMonadicAllocator,
+    RoundRobinAllocator,
+    cluster_of_subsets,
+    clusters_for_first_operand,
+    clusters_for_second_operand,
+    legal_choices,
+    make_allocator,
+    policy_names,
+)
+from repro.errors import AllocationError
+from repro.extensions.general_wsrs import four_cluster_mapping
+from repro.trace.model import OpClass, TraceInstruction
+from tests.conftest import ialu
+
+MAPPING = four_cluster_mapping()
+
+
+def subset_of_identity(logical: int) -> int:
+    """Test subset map: register i lives in subset i % 4."""
+    return logical % 4
+
+
+class TestFigure3Geometry:
+    def test_cluster_of_subsets_matches_bit_rule(self):
+        for first in range(4):
+            for second in range(4):
+                cluster = cluster_of_subsets(first, second)
+                assert cluster >> 1 == first >> 1   # top/bottom from first
+                assert cluster & 1 == second & 1    # left/right from second
+
+    def test_cluster_of_subsets_matches_the_mapping_module(self):
+        for first in range(4):
+            for second in range(4):
+                assert MAPPING.clusters_for(first, second) \
+                    == [cluster_of_subsets(first, second)]
+
+    def test_first_operand_clusters(self):
+        assert clusters_for_first_operand(0) == (0, 1)
+        assert clusters_for_first_operand(1) == (0, 1)
+        assert clusters_for_first_operand(2) == (2, 3)
+        assert clusters_for_first_operand(3) == (2, 3)
+
+    def test_second_operand_clusters(self):
+        assert clusters_for_second_operand(0) == (0, 2)
+        assert clusters_for_second_operand(1) == (1, 3)
+        assert clusters_for_second_operand(2) == (0, 2)
+        assert clusters_for_second_operand(3) == (1, 3)
+
+
+class TestLegalChoices:
+    def test_dyadic_without_swap_is_fully_constrained(self):
+        inst = ialu(9, src1=1, src2=2)  # subsets 1 and 2
+        choices = legal_choices(inst, subset_of_identity, allow_swap=False)
+        assert choices == [(cluster_of_subsets(1, 2), False)]
+
+    def test_dyadic_with_swap_offers_two_clusters(self):
+        inst = ialu(9, src1=1, src2=2, commutative=True)
+        choices = legal_choices(inst, subset_of_identity, allow_swap=True)
+        clusters = {cluster for cluster, _ in choices}
+        assert clusters == {cluster_of_subsets(1, 2),
+                            cluster_of_subsets(2, 1)}
+
+    def test_same_subset_operands_leave_one_cluster_even_with_swap(self):
+        inst = ialu(9, src1=1, src2=5, commutative=True)  # both subset 1
+        choices = legal_choices(inst, subset_of_identity, allow_swap=True)
+        assert len(choices) == 1
+
+    def test_monadic_offers_two_clusters_without_swap(self):
+        inst = ialu(9, src1=2)
+        choices = legal_choices(inst, subset_of_identity, allow_swap=False)
+        assert [cluster for cluster, _ in choices] == [2, 3]
+
+    def test_monadic_offers_three_clusters_with_swap(self):
+        """Commutative clusters: monadic runs on 3 of 4 (section 3.3)."""
+        inst = ialu(9, src1=2)
+        choices = legal_choices(inst, subset_of_identity, allow_swap=True)
+        assert len({cluster for cluster, _ in choices}) == 3
+
+    def test_noadic_offers_all_clusters(self):
+        inst = ialu(9)
+        choices = legal_choices(inst, subset_of_identity, allow_swap=False)
+        assert [cluster for cluster, _ in choices] == [0, 1, 2, 3]
+
+    def test_swap_needs_commutative_respects_the_flag(self):
+        plain = ialu(9, src1=1, src2=2, commutative=False)
+        choices = legal_choices(plain, subset_of_identity, allow_swap=True,
+                                swap_needs_commutative=True)
+        assert len(choices) == 1
+
+    @given(src1=st.integers(0, 31), src2=st.integers(0, 31),
+           allow_swap=st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_every_choice_is_legal_under_the_mapping(self, src1, src2,
+                                                     allow_swap):
+        inst = ialu(9, src1=src1, src2=src2, commutative=True)
+        for cluster, swapped in legal_choices(inst, subset_of_identity,
+                                              allow_swap):
+            first, second = (src2, src1) if swapped else (src1, src2)
+            assert MAPPING.legal(cluster,
+                                 subset_of_identity(first),
+                                 subset_of_identity(second))
+
+
+class TestRoundRobin:
+    def test_cycles_through_clusters(self):
+        allocator = RoundRobinAllocator(4)
+        clusters = [allocator.allocate(ialu(1))[0] for _ in range(8)]
+        assert clusters == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_reset(self):
+        allocator = RoundRobinAllocator(4)
+        allocator.allocate(ialu(1))
+        allocator.reset()
+        assert allocator.allocate(ialu(1))[0] == 0
+
+    def test_never_swaps(self):
+        allocator = RoundRobinAllocator(4)
+        assert not any(allocator.allocate(ialu(1, 2, 3))[1]
+                       for _ in range(8))
+
+
+class TestRandomMonadic:
+    def test_requires_subset_map(self):
+        with pytest.raises(AllocationError):
+            RandomMonadicAllocator(4).allocate(ialu(1, src1=0))
+
+    def test_dyadic_is_deterministic(self):
+        allocator = RandomMonadicAllocator(4, seed=1)
+        inst = ialu(9, src1=1, src2=2)
+        expected = cluster_of_subsets(1, 2)
+        for _ in range(10):
+            cluster, swapped = allocator.allocate(inst, subset_of_identity)
+            assert cluster == expected
+            assert not swapped
+
+    def test_monadic_uses_both_legal_clusters(self):
+        allocator = RandomMonadicAllocator(4, seed=7)
+        inst = ialu(9, src1=0)  # subset 0 -> clusters {0, 1}
+        seen = {allocator.allocate(inst, subset_of_identity)[0]
+                for _ in range(64)}
+        assert seen == {0, 1}
+
+    def test_never_produces_swapped_forms(self):
+        allocator = RandomMonadicAllocator(4, seed=3)
+        for src1 in range(8):
+            _, swapped = allocator.allocate(ialu(9, src1=src1),
+                                            subset_of_identity)
+            assert not swapped
+
+
+class TestRandomCommutative:
+    def test_dyadic_uses_both_forms(self):
+        allocator = RandomCommutativeAllocator(4, seed=11)
+        inst = ialu(9, src1=1, src2=2)
+        decisions = {allocator.allocate(inst, subset_of_identity)
+                     for _ in range(64)}
+        assert decisions == {(cluster_of_subsets(1, 2), False),
+                             (cluster_of_subsets(2, 1), True)}
+
+    def test_monadic_reaches_three_clusters(self):
+        allocator = RandomCommutativeAllocator(4, seed=5)
+        inst = ialu(9, src1=2)
+        seen = {allocator.allocate(inst, subset_of_identity)[0]
+                for _ in range(128)}
+        assert len(seen) == 3
+
+    def test_decisions_are_always_legal(self):
+        allocator = RandomCommutativeAllocator(4, seed=13)
+        for src1 in range(16):
+            for src2 in range(16):
+                inst = ialu(9, src1=src1, src2=src2)
+                cluster, swapped = allocator.allocate(inst,
+                                                      subset_of_identity)
+                first, second = (src2, src1) if swapped else (src1, src2)
+                assert MAPPING.legal(cluster, subset_of_identity(first),
+                                     subset_of_identity(second))
+
+
+class TestOtherPolicies:
+    def test_random_allocator_spreads(self):
+        allocator = RandomAllocator(4, seed=2)
+        seen = {allocator.allocate(ialu(1))[0] for _ in range(64)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_least_loaded_picks_the_emptiest(self):
+        allocator = LeastLoadedAllocator(4)
+        cluster, _ = allocator.allocate(ialu(1), None, [5, 2, 9, 4])
+        assert cluster == 1
+
+    def test_dependence_aware_respects_legality(self):
+        allocator = DependenceAwareAllocator(4, seed=4)
+        inst = ialu(9, src1=1, src2=2, commutative=True)
+        cluster, swapped = allocator.allocate(inst, subset_of_identity,
+                                              [0, 0, 0, 10])
+        first, second = (2, 1) if swapped else (1, 2)
+        assert MAPPING.legal(cluster, subset_of_identity(first),
+                             subset_of_identity(second))
+
+    def test_dependence_aware_prefers_low_occupancy(self):
+        allocator = DependenceAwareAllocator(4, seed=4)
+        inst = ialu(9, src1=1, src2=2, commutative=True)
+        legal = {c for c, _ in legal_choices(inst, subset_of_identity,
+                                             allow_swap=True)}
+        occupancy = [100] * 4
+        lightest = min(legal)
+        occupancy[lightest] = 0
+        cluster, _ = allocator.allocate(inst, subset_of_identity, occupancy)
+        assert cluster == lightest
+
+
+class TestFactory:
+    def test_creates_every_registered_policy(self):
+        for name in policy_names():
+            allocator = make_allocator(name, 4, seed=0)
+            assert allocator.name == name
+            # mapped_random lives in repro.extensions and duck-types the
+            # Allocator interface rather than inheriting it
+            if name != "mapped_random":
+                assert isinstance(allocator, Allocator)
+
+    def test_unknown_policy(self):
+        with pytest.raises(AllocationError, match="unknown allocation"):
+            make_allocator("oracle")
+
+    def test_wsrs_legal_flags(self):
+        assert make_allocator("random_monadic").wsrs_legal
+        assert make_allocator("random_commutative").wsrs_legal
+        assert make_allocator("dependence_aware").wsrs_legal
+        assert not make_allocator("round_robin").wsrs_legal

@@ -1,0 +1,146 @@
+"""Tests for the workload-analysis package (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.dependence import (
+    dataflow_limits,
+    format_profile,
+    operand_profile,
+    register_lifetimes,
+)
+from repro.analysis.subset_flow import analyze_subset_flow, compare_policies
+from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.profiles import spec_trace
+from tests.conftest import branch, ialu, load
+
+
+class TestOperandProfile:
+    def test_counts_adicity(self):
+        trace = [ialu(1), ialu(2, src1=1), ialu(3, src1=1, src2=2),
+                 ialu(4, src1=1, src2=2, commutative=True)]
+        profile = operand_profile(trace)
+        assert profile.noadic == 1
+        assert profile.monadic == 1
+        assert profile.dyadic == 2
+        assert profile.commutative_dyadic == 1
+        assert profile.commutative_fraction_of_dyadic == 0.5
+
+    def test_rc_offers_at_least_as_much_freedom_as_rm(self):
+        profile = operand_profile(spec_trace("gzip", 5000))
+        assert profile.mean_choices_rc >= profile.mean_choices_rm
+        assert 1.0 <= profile.mean_choices_rm <= 4.0
+
+    def test_monadic_or_noadic_is_a_large_fraction(self):
+        """Section 3.3: 'A large fraction of the instructions are either
+        monadic or noadic' - true of our SPARC-shaped traces."""
+        for name in ("gzip", "wupwise"):
+            profile = operand_profile(spec_trace(name, 8000))
+            assert profile.monadic_or_noadic_fraction > 0.35, name
+
+    def test_empty_trace(self):
+        profile = operand_profile([])
+        assert profile.instructions == 0
+        assert profile.mean_choices_rm == 0.0
+
+    def test_format_profile(self):
+        text = format_profile(operand_profile(spec_trace("gzip", 500)))
+        assert "monadic" in text and "RC" in text
+
+
+class TestDataflowLimits:
+    def test_serial_chain(self):
+        trace = [ialu(1, src1=1) for _ in range(50)]
+        limits = dataflow_limits(trace)
+        assert limits.critical_path_cycles == 50
+        assert limits.ideal_ipc == pytest.approx(1.0)
+
+    def test_independent_instructions(self):
+        trace = [ialu(1 + i) for i in range(30)]
+        limits = dataflow_limits(trace)
+        assert limits.critical_path_cycles == 1
+        assert limits.ideal_ipc == 30.0
+
+    def test_latency_weighting(self):
+        trace = [TraceInstruction(OpClass.FPDIV, dest=80, src1=80,
+                                  src2=81) for _ in range(4)]
+        limits = dataflow_limits(trace)
+        assert limits.critical_path_cycles == 60  # 4 x 15
+
+    def test_distance_histogram(self):
+        trace = [ialu(1), ialu(2, src1=1), ialu(3, src1=1)]
+        limits = dataflow_limits(trace)
+        assert limits.distance_histogram == {"1": 1, "2": 1}
+        assert limits.mean_distance == 1.5
+
+    def test_spec_traces_have_exploitable_ilp(self):
+        limits = dataflow_limits(spec_trace("gzip", 10_000))
+        assert limits.ideal_ipc > 8.0  # far above the 8-way machine
+
+
+class TestRegisterLifetimes:
+    def test_basic_lifetime(self):
+        trace = [ialu(1), ialu(2, src1=1), ialu(3, src1=1), ialu(1)]
+        stats = register_lifetimes(trace)
+        # r1's definition at 0 is last used at index 2
+        assert stats.max_lifetime == 2
+
+    def test_never_read_definitions_are_counted(self):
+        trace = [ialu(1), ialu(1), ialu(1)]
+        stats = register_lifetimes(trace)
+        assert stats.definitions == 3
+        assert stats.never_read_fraction == 1.0
+
+    def test_some_values_are_never_read_in_real_traces(self):
+        """The register-cache motivation of section 6."""
+        stats = register_lifetimes(spec_trace("gzip", 10_000))
+        assert stats.never_read_fraction > 0.0
+        assert stats.mean_lifetime > 0.0
+
+
+class TestSubsetFlow:
+    def test_report_shape(self):
+        report = analyze_subset_flow(spec_trace("gzip", 5000),
+                                     policy="random_monadic")
+        assert report.instructions == 5000
+        assert len(report.subset_shares) == 4
+        assert abs(sum(report.subset_shares) - 1.0) < 1e-9
+        assert report.mean_cluster_run >= 1.0
+
+    def test_rm_never_swaps_rc_does(self):
+        rm = analyze_subset_flow(spec_trace("gzip", 5000),
+                                 "random_monadic")
+        rc = analyze_subset_flow(spec_trace("gzip", 5000),
+                                 "random_commutative")
+        assert rm.swapped_fraction == 0.0
+        assert rc.swapped_fraction > 0.0
+
+    def test_f_runs_exceed_random_baseline(self):
+        """The top/bottom bit propagates along dependence lineages under
+        both WSRS policies, so f-runs are longer than the 2.0 a memoryless
+        coin flip would give (this is the concentration behind Figure 5's
+        unbalance)."""
+        rm = analyze_subset_flow(spec_trace("wupwise", 8000),
+                                 "random_monadic")
+        rc = analyze_subset_flow(spec_trace("wupwise", 8000),
+                                 "random_commutative")
+        assert rm.mean_f_run > 2.0
+        assert rc.mean_f_run > 2.0
+        # and both policies keep long-run shares roughly even
+        assert all(0.15 < share < 0.35 for share in rm.subset_shares)
+
+    def test_round_robin_runs_are_minimal(self):
+        report = analyze_subset_flow(spec_trace("gzip", 2000),
+                                     "round_robin")
+        assert report.mean_cluster_run == 1.0
+
+    def test_compare_policies(self):
+        reports = compare_policies(lambda: spec_trace("gzip", 2000))
+        assert set(reports) == {"random_monadic", "random_commutative",
+                                "dependence_aware"}
+
+
+class TestBranchAndLoadEdges:
+    def test_loads_count_in_distance_histogram(self):
+        trace = [ialu(1), load(2, 1), branch(2, True)]
+        limits = dataflow_limits(trace)
+        assert sum(limits.distance_histogram.values()) == 2

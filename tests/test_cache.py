@@ -1,0 +1,125 @@
+"""Tests for the set-associative cache (repro.memory.cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def small_cache(size=1024, line=64, ways=2) -> Cache:
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line,
+                             associativity=ways, hit_latency=1,
+                             miss_penalty=10))
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0x100)
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.hits == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x100)
+        assert cache.access(0x13F)  # same 64B line
+        assert not cache.access(0x140)  # next line
+
+    def test_lookup_does_not_touch_state(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100)
+        cache.access(0x100)
+        assert cache.lookup(0x100)
+        assert cache.hits == 0  # lookup never counts
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == 0.5
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x200)
+        assert cache.invalidate(0x200)
+        assert not cache.access(0x200)
+        assert not cache.invalidate(0x9999)
+
+    def test_flush(self):
+        cache = small_cache()
+        for addr in range(0, 512, 64):
+            cache.access(addr)
+        cache.flush()
+        assert not cache.access(0)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0x40)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.access(0x40)  # still resident
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        # 1024B / 64B lines / 2-way => 8 sets; same set every 512 bytes
+        cache = small_cache()
+        a, b, c = 0x0, 0x200, 0x400  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (least recently used)
+        assert cache.lookup(b)
+        assert cache.lookup(c)
+        assert not cache.lookup(a)
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_lru(self):
+        cache = small_cache()
+        a, b, c = 0x0, 0x200, 0x400
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b becomes LRU
+        cache.access(c)  # evicts b
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+
+    def test_associativity_bound(self):
+        cache = small_cache(ways=2)
+        for i in range(4):
+            cache.access(i * 0x200)  # all set 0
+        resident = sum(cache.lookup(i * 0x200) for i in range(4))
+        assert resident == 2
+
+
+class TestGeometryValidation:
+    def test_rejects_bad_size(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            Cache(CacheConfig(size_bytes=1000, line_bytes=64,
+                              associativity=2, hit_latency=1,
+                              miss_penalty=1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+def test_properties_hold_for_any_access_pattern(addresses):
+    cache = small_cache(size=512, line=64, ways=2)
+    for addr in addresses:
+        cache.access(addr)
+    # capacity invariant: never more resident lines than the cache holds
+    resident = sum(len(tags) for tags in cache._sets)
+    assert resident <= cache.config.num_lines
+    # per-set bound
+    assert all(len(tags) <= cache.config.associativity
+               for tags in cache._sets)
+    # accounting
+    assert cache.hits + cache.misses == len(addresses)
+    # re-access of the most recent address always hits
+    assert cache.access(addresses[-1])

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_command(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_figure4_arguments(self):
+        args = build_parser().parse_args(
+            ["figure4", "--measure", "5000", "--warmup", "2000",
+             "--benchmarks", "gzip", "mcf"])
+        assert args.measure == 5000
+        assert args.benchmarks == ["gzip", "mcf"]
+
+    def test_simulate_validates_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "not-a-benchmark"])
+
+    def test_simulate_validates_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "gzip", "--config", "bogus"])
+
+
+class TestCommands:
+    def test_table1_succeeds(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "noWS-M" in output
+        assert "match the paper" in output
+
+    def test_profiles_lists_all_benchmarks(self, capsys):
+        assert main(["profiles"]) == 0
+        output = capsys.readouterr().out
+        for name in ("gzip", "mcf", "wupwise", "facerec"):
+            assert name in output
+
+    def test_simulate_prints_stats(self, capsys):
+        code = main(["simulate", "gzip", "--config", "WSRS RC S 512",
+                     "--measure", "2000", "--warmup", "1000"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "IPC" in output
+        assert "unbalancing" in output
+
+    def test_figure5_tiny_run(self, capsys):
+        code = main(["figure5", "--measure", "2000", "--warmup", "1000",
+                     "--benchmarks", "gzip"])
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert code in (0, 1)  # relations may not hold at tiny scale

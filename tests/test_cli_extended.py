@@ -1,0 +1,54 @@
+"""Tests for the extended CLI commands (analyze/sensitivity/microbench/
+savetrace)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_analyze_arguments(self):
+        args = build_parser().parse_args(
+            ["analyze", "mcf", "--measure", "500"])
+        assert args.benchmark == "mcf"
+        assert args.measure == 500
+
+    def test_analyze_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "nope"])
+
+    def test_savetrace_arguments(self):
+        args = build_parser().parse_args(
+            ["savetrace", "gzip", "out.trace", "--measure", "10"])
+        assert args.output == "out.trace"
+
+
+class TestExecution:
+    def test_analyze_prints_the_profile(self, capsys):
+        assert main(["analyze", "gzip", "--measure", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "monadic" in output
+        assert "ideal IPC" in output
+        assert "f-run" in output
+
+    def test_microbench_runs_all_kernels(self, capsys):
+        assert main(["microbench"]) == 0
+        output = capsys.readouterr().out
+        for kernel in ("daxpy", "fib", "matmul", "memcpy",
+                       "pointer_chase", "reduction"):
+            assert kernel in output
+
+    def test_savetrace_roundtrip(self, tmp_path, capsys):
+        from repro.trace.serialization import load_trace
+
+        path = str(tmp_path / "frozen.trace")
+        assert main(["savetrace", "vpr", path, "--measure", "300"]) == 0
+        assert len(list(load_trace(path))) == 300
+
+    def test_sensitivity_tiny(self, capsys):
+        code = main(["sensitivity", "--measure", "1200",
+                     "--warmup", "600", "--benchmarks", "gzip"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "penalty" in output
+        assert "predictor" in output

@@ -1,0 +1,79 @@
+"""Tests for the area model (repro.cost.area) - Formula 1 / Table 1."""
+
+import pytest
+
+from repro.cost.area import (
+    area_ratio,
+    bit_area,
+    cell_area,
+    register_file_area,
+)
+from repro.errors import CostModelError
+
+
+class TestFormula1:
+    def test_cell_area_formula(self):
+        # (Nr + Nw) * (Nr + 2 Nw)
+        assert cell_area(16, 12) == 28 * 40
+        assert cell_area(4, 12) == 16 * 28
+        assert cell_area(4, 3) == 7 * 10
+        assert cell_area(4, 6) == 10 * 16
+
+    def test_rejects_negative_ports(self):
+        with pytest.raises(CostModelError):
+            cell_area(-1, 2)
+
+    def test_rejects_portless_cell(self):
+        with pytest.raises(CostModelError):
+            cell_area(0, 0)
+
+
+class TestTable1BitAreas:
+    """The 'Reg. bit area (xw2)' row, matched exactly."""
+
+    @pytest.mark.parametrize("reads,writes,copies,expected", [
+        (16, 12, 1, 1120),   # noWS-M
+        (4, 12, 4, 1792),    # noWS-D
+        (4, 3, 4, 280),      # WS
+        (4, 3, 2, 140),      # WSRS
+        (4, 6, 2, 320),      # noWS-2
+    ])
+    def test_bit_area(self, reads, writes, copies, expected):
+        assert bit_area(reads, writes, copies) == expected
+
+    def test_copies_must_be_positive(self):
+        with pytest.raises(CostModelError):
+            bit_area(4, 3, 0)
+
+
+class TestTable1AreaRatios:
+    """The 'total area / area noWS-2' row, matched exactly."""
+
+    @pytest.mark.parametrize("regs,reads,writes,copies,expected", [
+        (256, 16, 12, 1, 7.0),     # noWS-M
+        (256, 4, 12, 4, 11.2),     # noWS-D
+        (512, 4, 3, 4, 3.5),       # WS
+        (512, 4, 3, 2, 1.75),      # WSRS
+        (128, 4, 6, 2, 1.0),       # noWS-2 (the reference itself)
+    ])
+    def test_ratio(self, regs, reads, writes, copies, expected):
+        assert area_ratio(regs, reads, writes, copies) \
+            == pytest.approx(expected)
+
+    def test_wsrs_is_six_times_smaller_than_conventional(self):
+        """'the total silicon area ... is divided by more than six'."""
+        conventional = area_ratio(256, 4, 12, 4)
+        wsrs = area_ratio(512, 4, 3, 2)
+        assert conventional / wsrs > 6.0
+
+
+class TestFileArea:
+    def test_scales_with_width_and_registers(self):
+        single = register_file_area(1, 4, 3, 1, width_bits=1)
+        assert single == cell_area(4, 3)
+        assert register_file_area(10, 4, 3, 1, width_bits=64) \
+            == 640 * cell_area(4, 3)
+
+    def test_needs_registers(self):
+        with pytest.raises(CostModelError):
+            register_file_area(0, 4, 3, 1)

@@ -1,0 +1,134 @@
+"""Tests for the CACTI-substitute timing/energy model (repro.cost.cacti)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.cacti import (
+    E_BITLINE,
+    E_STATIC,
+    E_WORDLINE,
+    T_BASE,
+    T_BITLINE,
+    T_WORDLINE,
+    access_time_ns,
+    energy_nj_per_cycle,
+    pipeline_depth,
+)
+from repro.errors import CostModelError
+
+#: (entries per bank, Nr, Nw, banks, paper access ns, paper nJ/cycle)
+PAPER_POINTS = [
+    ("noWS-M", 256, 16, 12, 1, 0.71, 3.20),
+    ("noWS-D", 256, 4, 12, 4, 0.52, 2.90),
+    ("WS", 512, 4, 3, 4, 0.40, 1.70),
+    ("WSRS", 256, 4, 3, 4, 0.35, 1.25),
+    ("noWS-2", 128, 4, 6, 2, 0.34, 0.63),
+]
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name,entries,nr,nw,banks,access,energy",
+                             PAPER_POINTS)
+    def test_access_time_within_tolerance(self, name, entries, nr, nw,
+                                          banks, access, energy):
+        assert access_time_ns(entries, nr, nw) \
+            == pytest.approx(access, abs=0.015)
+
+    @pytest.mark.parametrize("name,entries,nr,nw,banks,access,energy",
+                             PAPER_POINTS)
+    def test_energy_within_tolerance(self, name, entries, nr, nw, banks,
+                                     access, energy):
+        assert energy_nj_per_cycle(entries, nr, nw, banks) \
+            == pytest.approx(energy, abs=0.13)
+
+    def test_timing_constants_rederive_from_the_published_points(self):
+        """The module constants are the least-squares solution of the
+        published five points; recompute and compare."""
+        matrix = np.array([[1, (nr + 2 * nw) / 1e2, e * (nr + nw) / 1e4]
+                           for _, e, nr, nw, _, _, _ in PAPER_POINTS])
+        target = np.array([t for *_, t, _ in PAPER_POINTS])
+        solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+        assert solution == pytest.approx([T_BASE, T_WORDLINE, T_BITLINE],
+                                         abs=1e-4)
+
+    def test_energy_constants_rederive_from_the_published_points(self):
+        rows = []
+        for _, entries, nr, nw, banks, _, _ in PAPER_POINTS:
+            ports = nr + nw
+            rows.append([banks * ports ** 3 * entries / 1e5,
+                         banks * ports * (nr + 2 * nw) / 1e2,
+                         banks])
+        target = np.array([e for *_, e in PAPER_POINTS])
+        solution, *_ = np.linalg.lstsq(np.array(rows), target, rcond=None)
+        assert solution == pytest.approx(
+            [E_BITLINE, E_WORDLINE, E_STATIC], abs=1e-4)
+
+
+class TestOrderings:
+    def test_paper_access_time_ordering_preserved(self):
+        times = [access_time_ns(e, nr, nw)
+                 for _, e, nr, nw, _, _, _ in PAPER_POINTS]
+        # noWS-M > noWS-D > WS > WSRS, and noWS-2 fastest band
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_paper_energy_ordering_preserved(self):
+        energies = [energy_nj_per_cycle(e, nr, nw, banks)
+                    for _, e, nr, nw, banks, _, _ in PAPER_POINTS]
+        assert energies[0] > energies[1] > energies[2] > energies[3] \
+            > energies[4]
+
+    def test_wsrs_energy_is_less_than_half_of_conventional(self):
+        """'Peak power consumption is more than halved'."""
+        conventional = energy_nj_per_cycle(256, 4, 12, 4)
+        wsrs = energy_nj_per_cycle(256, 4, 3, 4)
+        assert wsrs < conventional / 2
+
+    def test_wsrs_access_is_a_third_faster(self):
+        """'access time is reduced by more than one third'."""
+        conventional = access_time_ns(256, 4, 12)
+        wsrs = access_time_ns(256, 4, 3)
+        assert wsrs < conventional * (1 - 0.30)
+
+
+class TestMonotonicity:
+    def test_more_write_ports_is_slower(self):
+        assert access_time_ns(256, 4, 12) > access_time_ns(256, 4, 3)
+
+    def test_more_read_ports_is_slower(self):
+        assert access_time_ns(256, 16, 12) > access_time_ns(256, 4, 12)
+
+    def test_more_entries_is_slower(self):
+        assert access_time_ns(512, 4, 3) > access_time_ns(256, 4, 3)
+
+    def test_more_banks_is_hungrier(self):
+        assert energy_nj_per_cycle(256, 4, 3, 4) \
+            > energy_nj_per_cycle(256, 4, 3, 2)
+
+    def test_input_validation(self):
+        with pytest.raises(CostModelError):
+            access_time_ns(0, 4, 3)
+        with pytest.raises(CostModelError):
+            energy_nj_per_cycle(256, 4, 3, banks=0)
+
+
+class TestPipelineDepthRule:
+    """ceil(t / period + 0.5) must reproduce every Table 1 cell."""
+
+    @pytest.mark.parametrize("name,entries,nr,nw,expected10,expected5", [
+        ("noWS-M", 256, 16, 12, 8, 5),
+        ("noWS-D", 256, 4, 12, 6, 4),
+        ("WS", 512, 4, 3, 5, 3),
+        ("WSRS", 256, 4, 3, 4, 3),
+        ("noWS-2", 128, 4, 6, 4, 3),
+    ])
+    def test_depths_match_table1(self, name, entries, nr, nw,
+                                 expected10, expected5):
+        access = access_time_ns(entries, nr, nw)
+        assert pipeline_depth(access, 10.0) == expected10
+        assert pipeline_depth(access, 5.0) == expected5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CostModelError):
+            pipeline_depth(0.0, 10.0)
+        with pytest.raises(CostModelError):
+            pipeline_depth(0.5, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for bypass/wake-up complexity accounting (repro.cost.complexity)."""
+
+import pytest
+
+from repro.cost.complexity import (
+    bypass_sources,
+    result_buses,
+    visible_result_buses,
+    wakeup_comparators,
+)
+from repro.errors import CostModelError
+
+
+class TestResultBuses:
+    def test_four_two_way_clusters_have_twelve_buses(self):
+        assert result_buses(4) == 12
+
+    def test_two_cluster_machine(self):
+        assert result_buses(2) == 6
+
+    def test_read_specialization_halves_visibility(self):
+        assert visible_result_buses(4, read_specialized=True) == 6
+        assert visible_result_buses(4, read_specialized=False) == 12
+
+    def test_wsrs_equals_conventional_four_way(self):
+        """The paper's headline equivalence."""
+        assert visible_result_buses(4, True) \
+            == visible_result_buses(2, False)
+
+    def test_read_specialization_needs_even_clusters(self):
+        with pytest.raises(CostModelError):
+            visible_result_buses(3, read_specialized=True)
+
+
+class TestBypassSources:
+    """X * N + 1, matched against every Table 1 cell."""
+
+    @pytest.mark.parametrize("depth,buses,expected", [
+        (8, 12, 97),   # noWS-M @ 10 GHz
+        (6, 12, 73),   # noWS-D @ 10 GHz
+        (5, 12, 61),   # WS @ 10 GHz
+        (4, 6, 25),    # WSRS @ 10 GHz
+        (4, 6, 25),    # noWS-2 @ 10 GHz
+        (5, 12, 61),   # noWS-M @ 5 GHz
+        (4, 12, 49),   # noWS-D @ 5 GHz
+        (3, 12, 37),   # WS @ 5 GHz
+        (3, 6, 19),    # WSRS @ 5 GHz
+        (3, 6, 19),    # noWS-2 @ 5 GHz
+    ])
+    def test_table1_values(self, depth, buses, expected):
+        assert bypass_sources(depth, buses) == expected
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            bypass_sources(0, 12)
+
+
+class TestWakeupComparators:
+    def test_conventional_8way_entry(self):
+        assert wakeup_comparators(12) == 24
+
+    def test_wsrs_entry_matches_conventional_4way(self):
+        """'a wake-up logic entry on a 8-way 4-cluster WSRS architecture
+        features only the same number of comparators as the one of a
+        4-way issue conventional processor'."""
+        wsrs = wakeup_comparators(visible_result_buses(4, True))
+        four_way = wakeup_comparators(visible_result_buses(2, False))
+        assert wsrs == four_way == 12
+
+    def test_monadic_entries_scale_down(self):
+        assert wakeup_comparators(6, operands=1) == 6
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            wakeup_comparators(0)

@@ -1,0 +1,67 @@
+"""Tests for the Table 1 builder (repro.cost.report + experiments.table1)."""
+
+from repro.cost.report import (
+    PAPER_TABLE1,
+    TABLE1_ORGANIZATIONS,
+    build_row,
+    build_table1,
+    format_table1,
+)
+from repro.experiments.table1 import compare_with_paper
+
+
+class TestStructure:
+    def test_five_columns_in_paper_order(self):
+        names = [org.name for org in TABLE1_ORGANIZATIONS]
+        assert names == ["noWS-M", "noWS-D", "WS", "WSRS", "noWS-2"]
+
+    def test_organizations_match_the_paper_header_rows(self):
+        by_name = {org.name: org for org in TABLE1_ORGANIZATIONS}
+        assert by_name["noWS-M"].num_registers == 256
+        assert by_name["noWS-M"].copies == 1
+        assert (by_name["noWS-M"].read_ports,
+                by_name["noWS-M"].write_ports) == (16, 12)
+        assert by_name["WS"].num_registers == 512
+        assert by_name["WS"].copies == 4
+        assert by_name["WSRS"].copies == 2
+        assert by_name["WSRS"].read_specialized
+        assert by_name["noWS-2"].num_clusters == 2
+
+    def test_ports_label(self):
+        assert TABLE1_ORGANIZATIONS[0].ports_label == "(16,12)"
+
+
+class TestRows:
+    def test_every_exact_cell_matches_the_paper(self):
+        for row in build_table1():
+            ours = row.as_dict()
+            paper = PAPER_TABLE1[row.organization.name]
+            for key in ("pipeline cycles: 10 Ghz",
+                        "sources per bypass point: 10 Ghz",
+                        "pipeline cycles: 5 Ghz",
+                        "sources per bypass point: 5 Ghz",
+                        "reg. bit area (xw2)"):
+                assert ours[key] == paper[key], \
+                    f"{row.organization.name}: {key}"
+
+    def test_area_ratio_row(self):
+        for row in build_table1():
+            paper = PAPER_TABLE1[row.organization.name]
+            assert abs(row.total_area_ratio
+                       - paper["total area / area noWS-2"]) < 0.01
+
+    def test_as_dict_has_all_table_rows(self):
+        row = build_row(TABLE1_ORGANIZATIONS[0]).as_dict()
+        assert len(row) == 13
+
+
+class TestComparison:
+    def test_reproduction_contract_holds(self):
+        comparison = compare_with_paper()
+        assert comparison.ok, "\n".join(comparison.mismatches)
+
+    def test_formatting_includes_paper_rows(self):
+        text = format_table1()
+        assert "noWS-M" in text
+        assert "(paper)" in text
+        assert "1120" in text  # noWS-M bit area

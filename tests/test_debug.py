@@ -1,0 +1,79 @@
+"""Tests for the pipeline tracer (repro.core.debug)."""
+
+from repro.config import baseline_rr_256
+from repro.core.debug import (
+    PipelineTracer,
+    format_gantt,
+    format_timeline,
+    trace_pipeline,
+)
+from repro.core.processor import Processor
+from repro.frontend.predictors import AlwaysTakenPredictor
+from tests.conftest import ialu, load
+
+
+def traced(trace, instructions=None):
+    processor = Processor(baseline_rr_256(), trace,
+                          predictor=AlwaysTakenPredictor())
+    tracer = PipelineTracer(processor)
+    tracer.run(instructions if instructions is not None else len(trace))
+    return tracer
+
+
+class TestLifecycles:
+    def test_records_every_committed_instruction(self):
+        trace = [ialu(1 + i % 8) for i in range(40)]
+        tracer = traced(trace)
+        assert len(tracer.records) == 40
+        assert [record.seq for record in tracer.records] \
+            == sorted(record.seq for record in tracer.records)
+
+    def test_milestones_are_ordered(self):
+        trace = [ialu(1 + i % 8) for i in range(30)]
+        for record in traced(trace).records:
+            assert record.dispatch < record.issue
+            assert record.issue < record.complete
+            assert record.complete <= record.commit
+
+    def test_load_latency_visible(self):
+        trace = [load(1, 2, addr=0x8000)]  # compulsory miss: 94 cycles
+        record = traced(trace).records[0]
+        assert record.latency == 94
+
+    def test_dependent_chain_shows_queue_delay(self):
+        trace = [ialu(1, src1=1) for _ in range(20)]
+        tracer = traced(trace)
+        assert tracer.mean_queue_delay() > 1.0
+
+    def test_mean_queue_delay_empty(self):
+        tracer = traced([])
+        assert tracer.mean_queue_delay() == 0.0
+
+
+class TestFormatting:
+    def test_timeline_table(self):
+        trace = [ialu(1), ialu(2, src1=1)]
+        text = format_timeline(traced(trace).records)
+        assert "IALU" in text
+        assert "disp" in text
+
+    def test_timeline_limit(self):
+        trace = [ialu(1 + i % 8) for i in range(20)]
+        text = format_timeline(traced(trace).records, limit=3)
+        assert len(text.splitlines()) == 4  # header + 3 rows
+
+    def test_gantt_renders(self):
+        trace = [ialu(1 + i % 8) for i in range(10)]
+        text = format_gantt(traced(trace).records)
+        assert "D" in text and "|" in text
+
+    def test_gantt_empty(self):
+        assert format_gantt([]) == "(no records)"
+
+
+class TestConvenience:
+    def test_trace_pipeline_helper(self):
+        tracer = trace_pipeline(baseline_rr_256(),
+                                [ialu(1 + i % 8) for i in range(16)],
+                                instructions=16)
+        assert len(tracer.records) == 16

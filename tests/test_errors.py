@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in ("ConfigError", "IsaError", "AssemblyError",
+                     "ExecutionError", "RenameError", "FreeListUnderflow",
+                     "RenameDeadlockError", "AllocationError",
+                     "TraceError", "CostModelError", "ExperimentError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_isa_errors_group(self):
+        assert issubclass(errors.AssemblyError, errors.IsaError)
+        assert issubclass(errors.ExecutionError, errors.IsaError)
+
+    def test_rename_errors_group(self):
+        assert issubclass(errors.FreeListUnderflow, errors.RenameError)
+        assert issubclass(errors.RenameDeadlockError, errors.RenameError)
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CostModelError("x")
+
+
+class TestAssemblyErrorFormatting:
+    def test_line_number_prefixed(self):
+        error = errors.AssemblyError("bad operand", line=7)
+        assert str(error) == "line 7: bad operand"
+        assert error.line == 7
+
+    def test_without_line_number(self):
+        error = errors.AssemblyError("bad operand")
+        assert str(error) == "bad operand"
+        assert error.line is None

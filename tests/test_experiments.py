@@ -1,0 +1,129 @@
+"""Tests for the experiment drivers (repro.experiments)."""
+
+import pytest
+
+from repro.config import baseline_rr_256, wsrs_rc
+from repro.experiments import ablations, figure4, figure5, table1
+from repro.experiments.runner import (
+    RunResult,
+    RunSpec,
+    execute,
+    format_ipc_table,
+    run_matrix,
+)
+
+#: Tiny slices: these tests exercise plumbing, not the paper relations
+#: (those are asserted at full scale by the benchmark harness).
+TINY = dict(measure=2500, warmup=1500)
+
+
+class TestRunner:
+    def test_execute_returns_populated_result(self):
+        spec = RunSpec(config=baseline_rr_256(), benchmark="gzip", **TINY)
+        result = execute(spec)
+        assert isinstance(result, RunResult)
+        # the final commit burst may overshoot by up to the commit width
+        assert TINY["measure"] <= result.stats.committed \
+            <= TINY["measure"] + 8
+        assert result.ipc > 0
+
+    def test_run_matrix_shape(self):
+        configs = [baseline_rr_256(), wsrs_rc(512)]
+        results = run_matrix(configs, ["gzip"], **TINY)
+        assert set(results) == {"gzip"}
+        assert set(results["gzip"]) == {"RR 256", "WSRS RC S 512"}
+
+    def test_run_matrix_progress_callback(self):
+        seen = []
+        run_matrix([baseline_rr_256()], ["gzip"],
+                   progress=lambda b, c, r: seen.append((b, c)), **TINY)
+        assert seen == [("gzip", "RR 256")]
+
+    def test_format_ipc_table(self):
+        results = run_matrix([baseline_rr_256()], ["gzip"], **TINY)
+        text = format_ipc_table(results, ["RR 256"])
+        assert "gzip" in text and "RR 256" in text
+
+
+class TestTable1Driver:
+    def test_reproduction_is_clean(self):
+        comparison = table1.run(print_table=False)
+        assert comparison.ok, "\n".join(comparison.mismatches)
+
+    def test_rows_cover_all_five_configs(self):
+        comparison = table1.compare_with_paper()
+        names = [row.organization.name for row in comparison.rows]
+        assert names == ["noWS-M", "noWS-D", "WS", "WSRS", "noWS-2"]
+
+
+class TestFigure4Driver:
+    def test_report_structure(self):
+        report = figure4.run(benchmarks=["gzip"], print_table=False,
+                             **TINY)
+        assert report.ipc("gzip", "RR 256") > 0
+        assert report.ipc("gzip", "WSRS RC S 512") > 0
+        assert set(report.results["gzip"]) == {
+            "RR 256", "WSRR 384", "WSRR 512", "WSRS RC S 384",
+            "WSRS RC S 512", "WSRS RM S 512"}
+
+    def test_relation_checker_flags_fabricated_regressions(self):
+        report = figure4.run(benchmarks=["gzip"], print_table=False,
+                             **TINY)
+        results = report.results
+        # sabotage: pretend WSRS-RC collapsed
+        results["gzip"]["WSRS RC S 512"].stats.cycles *= 10
+        violations = figure4.check_relations(results)
+        assert any("WSRS RC S 512" in violation
+                   for violation in violations)
+
+
+class TestFigure5Driver:
+    def test_report_structure(self):
+        report = figure5.run(benchmarks=["gzip"], print_table=False,
+                             **TINY)
+        assert report.degree("gzip", "RR 256") == 0.0
+        assert report.degree("gzip", "WSRS RC S 512") >= 0.0
+
+    def test_round_robin_must_be_balanced(self):
+        report = figure5.run(benchmarks=["gzip"], print_table=False,
+                             **TINY)
+        report.results["gzip"]["RR 256"].stats.groups_total = 10
+        report.results["gzip"]["RR 256"].stats.groups_unbalanced = 5
+        violations = figure5.check_relations(report.results)
+        assert any("perfectly balanced" in violation
+                   for violation in violations)
+
+
+class TestAblations:
+    def test_register_sweep_structure(self):
+        result = ablations.register_sweep(
+            benchmarks=["gzip"], totals=(384, 512),
+            measure=2000, warmup=1000)
+        assert set(result.ipc["gzip"]) == {
+            "WS-384", "WSRS-RC-384", "WS-512", "WSRS-RC-512"}
+        assert all(value > 0 for value in result.ipc["gzip"].values())
+
+    def test_fastforward_sweep_orders_sanely(self):
+        result = ablations.fastforward_sweep(
+            benchmarks=["gzip"], measure=4000, warmup=2000)
+        ipc = result.ipc["gzip"]
+        # complete fast-forwarding can only help
+        assert ipc["base-complete"] >= ipc["base-intra"] - 0.05
+
+    def test_rename_impl_sweep(self):
+        result = ablations.rename_impl_sweep(
+            benchmarks=["gzip"], measure=2000, warmup=1000)
+        assert set(result.ipc["gzip"]) == {
+            "WS-impl1", "WS-impl2", "WSRS-impl1", "WSRS-impl2"}
+
+    def test_allocation_sweep(self):
+        result = ablations.allocation_sweep(
+            benchmarks=["gzip"], measure=2000, warmup=1000)
+        assert set(result.ipc["gzip"]) == {"RM", "RC", "dependence-aware"}
+
+    def test_format_result(self):
+        result = ablations.allocation_sweep(
+            benchmarks=["gzip"], measure=1500, warmup=500)
+        text = ablations.format_result(result)
+        assert "Ablation: allocation" in text
+        assert "RC" in text

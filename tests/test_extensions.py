@@ -1,0 +1,125 @@
+"""Tests for generalised WSRS mappings (repro.extensions.general_wsrs)."""
+
+import pytest
+
+from repro.allocation.policies import cluster_of_subsets
+from repro.errors import ConfigError
+from repro.extensions.general_wsrs import (
+    BalanceReport,
+    WsrsMapping,
+    analyze_balance,
+    four_cluster_mapping,
+    make_mapping,
+    seven_cluster_mapping,
+)
+from repro.trace.profiles import spec_trace
+
+
+class TestFourClusterMapping:
+    def test_matches_the_allocation_module_bit_rule(self):
+        mapping = four_cluster_mapping()
+        for first in range(4):
+            for second in range(4):
+                assert mapping.clusters_for(first, second) \
+                    == [cluster_of_subsets(first, second)]
+
+    def test_complexity_matches_the_paper(self):
+        mapping = four_cluster_mapping()
+        assert mapping.wakeup_clusters_per_operand() == 2
+        assert mapping.result_buses_per_operand() == 6
+        assert mapping.read_copies_per_register() == 2
+
+    def test_dyadic_allocation_is_unique(self):
+        assert four_cluster_mapping().mean_choices() == 1.0
+
+
+class TestSevenClusterMapping:
+    def test_coverage_every_pair_is_executable(self):
+        mapping = seven_cluster_mapping()
+        for first in range(7):
+            for second in range(7):
+                assert mapping.clusters_for(first, second)
+
+    def test_complexity(self):
+        mapping = seven_cluster_mapping()
+        assert mapping.wakeup_clusters_per_operand() == 3
+        assert mapping.result_buses_per_operand() == 9
+        assert mapping.read_copies_per_register() == 3
+
+    def test_fano_difference_set_gives_some_freedom(self):
+        # 9 (first, second) cover pairs over 7 residues: mean > 1 choice
+        assert seven_cluster_mapping().mean_choices() > 1.0
+
+    def test_symmetric_reader_counts(self):
+        mapping = seven_cluster_mapping()
+        for subset in range(7):
+            assert len(mapping.first_readers(subset)) == 3
+            assert len(mapping.second_readers(subset)) == 3
+
+
+class TestValidation:
+    def test_rejects_incomplete_mapping(self):
+        # both ports read only the cluster's own subset: pair (0, 1) has
+        # no executing cluster
+        own = tuple((c,) for c in range(4))
+        with pytest.raises(ConfigError, match="no executing cluster"):
+            WsrsMapping(4, own, own)
+
+    def test_rejects_empty_port_set(self):
+        first = ((0, 1), (0, 1), (2, 3), ())
+        second = tuple((c,) for c in range(4))
+        with pytest.raises(ConfigError, match="reads nothing"):
+            WsrsMapping(4, first, second)
+
+    def test_rejects_unknown_subset(self):
+        first = ((0, 9), (0, 1), (2, 3), (2, 3))
+        second = ((0, 2), (1, 3), (0, 2), (1, 3))
+        with pytest.raises(ConfigError, match="unknown subset"):
+            WsrsMapping(4, first, second)
+
+    def test_rejects_single_cluster(self):
+        with pytest.raises(ConfigError):
+            WsrsMapping(1, ((0,),), ((0,),))
+
+
+class TestMakeMapping:
+    @pytest.mark.parametrize("clusters", [2, 3, 4, 5, 6, 7, 8])
+    def test_produces_complete_mappings(self, clusters):
+        mapping = make_mapping(clusters)
+        assert mapping.num_clusters == clusters
+        # construction validates completeness; spot-check anyway
+        assert mapping.clusters_for(0, clusters - 1)
+
+    def test_special_cases(self):
+        assert make_mapping(4).first_subsets \
+            == four_cluster_mapping().first_subsets
+        assert make_mapping(7).first_subsets \
+            == seven_cluster_mapping().first_subsets
+
+
+class TestBalanceAnalysis:
+    def test_report_shape(self):
+        report = analyze_balance(seven_cluster_mapping(),
+                                 spec_trace("gzip", 4000))
+        assert isinstance(report, BalanceReport)
+        assert report.instructions == 4000
+        assert len(report.cluster_shares) == 7
+        assert abs(sum(report.cluster_shares) - 1.0) < 1e-9
+        assert report.mean_choices >= 1.0
+
+    def test_four_cluster_unbalance_is_high(self):
+        report = analyze_balance(four_cluster_mapping(),
+                                 spec_trace("wupwise", 8000))
+        assert report.unbalancing_degree > 30.0
+
+    def test_empty_trace(self):
+        report = analyze_balance(four_cluster_mapping(), [])
+        assert report.instructions == 0
+        assert report.unbalancing_degree == 0.0
+
+    def test_deterministic_given_seed(self):
+        first = analyze_balance(seven_cluster_mapping(),
+                                spec_trace("gzip", 3000), seed=3)
+        second = analyze_balance(seven_cluster_mapping(),
+                                 spec_trace("gzip", 3000), seed=3)
+        assert first.cluster_shares == second.cluster_shares

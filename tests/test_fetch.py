@@ -1,0 +1,66 @@
+"""Tests for the idealised front end (repro.frontend.fetch)."""
+
+from repro.frontend.fetch import FrontEnd
+from repro.frontend.predictors import AlwaysTakenPredictor
+from tests.conftest import branch, ialu
+
+
+class TestDelivery:
+    def test_peek_does_not_consume(self):
+        front = FrontEnd([ialu(1), ialu(2)], AlwaysTakenPredictor())
+        first = front.peek()
+        assert front.peek() is first
+        assert front.pop() is first
+        assert front.delivered == 1
+
+    def test_pop_order_matches_trace(self):
+        trace = [ialu(1), ialu(2), ialu(3)]
+        front = FrontEnd(trace, AlwaysTakenPredictor())
+        dests = [front.pop().inst.dest for _ in range(3)]
+        assert dests == [1, 2, 3]
+
+    def test_exhaustion(self):
+        front = FrontEnd([ialu(1)], AlwaysTakenPredictor())
+        assert not front.exhausted
+        front.pop()
+        assert front.pop() is None
+        assert front.exhausted
+
+    def test_empty_trace(self):
+        front = FrontEnd([], AlwaysTakenPredictor())
+        assert front.peek() is None
+        assert front.exhausted
+
+
+class TestPrediction:
+    def test_counts_branches(self):
+        trace = [ialu(1), branch(1, True), branch(1, False)]
+        front = FrontEnd(trace, AlwaysTakenPredictor())
+        while front.pop() is not None:
+            pass
+        assert front.branches == 2
+
+    def test_always_taken_mispredicts_not_taken(self):
+        trace = [branch(1, True), branch(1, False), branch(1, False)]
+        front = FrontEnd(trace, AlwaysTakenPredictor())
+        flags = [front.pop().mispredicted for _ in range(3)]
+        assert flags == [False, True, True]
+        assert front.mispredictions == 2
+        assert front.misprediction_rate == 2 / 3
+
+    def test_non_branches_never_mispredict(self):
+        front = FrontEnd([ialu(1), ialu(2)], AlwaysTakenPredictor())
+        assert not front.pop().mispredicted
+        assert not front.pop().mispredicted
+        assert front.misprediction_rate == 0.0
+
+    def test_default_predictor_is_gskew(self):
+        front = FrontEnd([])
+        assert front.predictor.name == "2bcgskew"
+
+    def test_predictor_learns_through_frontend(self):
+        trace = [branch(0x40, True) for _ in range(32)]
+        front = FrontEnd(trace)
+        results = [front.pop().mispredicted for _ in range(32)]
+        # after warm-up the biased branch must be predicted correctly
+        assert not any(results[-8:])

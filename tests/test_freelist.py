@@ -1,0 +1,98 @@
+"""Tests for free lists and the recycling pipeline (repro.rename.freelist)."""
+
+import pytest
+
+from repro.errors import FreeListUnderflow
+from repro.rename.freelist import FreeList, RecyclingPipeline
+
+
+class TestFreeList:
+    def test_fifo_order(self):
+        flist = FreeList([1, 2, 3])
+        assert flist.pick() == 1
+        assert flist.pick() == 2
+        flist.release(1)
+        assert flist.pick() == 3
+        assert flist.pick() == 1
+
+    def test_available(self):
+        flist = FreeList(range(5))
+        assert flist.available == 5
+        flist.pick()
+        assert flist.available == 4
+
+    def test_pick_many(self):
+        flist = FreeList(range(6))
+        assert flist.pick_many(3) == [0, 1, 2]
+        assert flist.available == 3
+
+    def test_pick_many_all_or_nothing(self):
+        flist = FreeList([7, 8])
+        with pytest.raises(FreeListUnderflow):
+            flist.pick_many(3)
+        assert flist.available == 2  # nothing consumed
+
+    def test_underflow(self):
+        flist = FreeList([])
+        with pytest.raises(FreeListUnderflow):
+            flist.pick()
+
+    def test_release_many_and_contains(self):
+        flist = FreeList([])
+        flist.release_many([4, 5])
+        assert 4 in flist
+        assert len(flist) == 2
+
+
+class TestRecyclingPipeline:
+    def test_registers_reappear_after_depth_ticks(self):
+        flist = FreeList([])
+        pipe = RecyclingPipeline(flist, depth=3)
+        pipe.insert([10, 11])
+        assert flist.available == 0
+        assert pipe.tick() == 0
+        assert pipe.tick() == 0
+        assert pipe.tick() == 2  # third tick releases them
+        assert flist.available == 2
+        assert pipe.in_flight == 0
+
+    def test_in_flight_accounting(self):
+        pipe = RecyclingPipeline(FreeList([]), depth=2)
+        pipe.insert([1])
+        pipe.tick()
+        pipe.insert([2, 3])
+        assert pipe.in_flight == 3
+        pipe.tick()  # releases [1]
+        assert pipe.in_flight == 2
+
+    def test_streaming_batches_keep_order(self):
+        flist = FreeList([])
+        pipe = RecyclingPipeline(flist, depth=2)
+        pipe.insert([1])
+        pipe.tick()
+        pipe.insert([2])
+        pipe.tick()  # releases 1
+        pipe.tick()  # releases 2
+        assert flist.pick() == 1
+        assert flist.pick() == 2
+
+    def test_drain_flushes_everything(self):
+        flist = FreeList([])
+        pipe = RecyclingPipeline(flist, depth=4)
+        pipe.insert([1, 2])
+        pipe.tick()
+        pipe.insert([3])
+        pipe.drain()
+        assert flist.available == 3
+        assert pipe.in_flight == 0
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecyclingPipeline(FreeList([]), depth=0)
+
+    def test_depth_one_releases_next_tick(self):
+        flist = FreeList([])
+        pipe = RecyclingPipeline(flist, depth=1)
+        pipe.insert([9])
+        assert pipe.tick() == 1
+        assert flist.available == 1

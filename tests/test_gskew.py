@@ -1,0 +1,108 @@
+"""Tests for the 2Bc-gskew predictor (repro.frontend.gskew)."""
+
+import random
+
+from repro.frontend.gskew import (
+    TwoBcGskewPredictor,
+    _skew_h,
+    _skew_h_inverse,
+)
+
+
+class TestSkewFunctions:
+    def test_h_is_a_bijection(self):
+        bits = 8
+        images = {_skew_h(value, bits) for value in range(1 << bits)}
+        assert len(images) == 1 << bits
+
+    def test_h_inverse_inverts_h(self):
+        bits = 10
+        for value in range(0, 1 << bits, 7):
+            assert _skew_h_inverse(_skew_h(value, bits), bits) == value
+
+    def test_h_stays_in_range(self):
+        bits = 6
+        for value in range(1 << bits):
+            assert 0 <= _skew_h(value, bits) < (1 << bits)
+
+
+class TestSizing:
+    def test_paper_sizing_is_512_kbit(self):
+        predictor = TwoBcGskewPredictor()
+        assert predictor.storage_bits() == 512 * 1024
+
+    def test_custom_sizing(self):
+        predictor = TwoBcGskewPredictor(bank_entries=1 << 12)
+        assert predictor.storage_bits() == 4 * (1 << 12) * 2
+
+
+class TestLearning:
+    def test_biased_branch(self):
+        predictor = TwoBcGskewPredictor(bank_entries=1 << 12)
+        for _ in range(16):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400)
+
+    def test_alternating_pattern_uses_history(self):
+        predictor = TwoBcGskewPredictor(bank_entries=1 << 12)
+        outcome = True
+        for _ in range(400):
+            predictor.update(0x88, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            if predictor.predict(0x88) == outcome:
+                correct += 1
+            predictor.update(0x88, outcome)
+            outcome = not outcome
+        assert correct >= 90
+
+    def test_loop_exit_pattern(self):
+        """taken x7 then not-taken, repeating - classic loop branch."""
+        predictor = TwoBcGskewPredictor(bank_entries=1 << 12)
+        pattern = [True] * 7 + [False]
+        for _ in range(200):
+            for outcome in pattern:
+                predictor.update(0x5000, outcome)
+        correct = 0
+        total = 0
+        for _ in range(25):
+            for outcome in pattern:
+                if predictor.predict(0x5000) == outcome:
+                    correct += 1
+                predictor.update(0x5000, outcome)
+                total += 1
+        assert correct / total >= 0.9
+
+    def test_accuracy_beats_bias_floor_on_many_sites(self):
+        """Across many statically biased sites, accuracy approaches the
+        per-site bias ceiling."""
+        rng = random.Random(42)
+        predictor = TwoBcGskewPredictor()
+        sites = [(0x1000 + 16 * i, 0.55 + 0.4 * rng.random())
+                 for i in range(64)]
+        correct = 0
+        total = 0
+        ceiling = 0.0
+        for round_index in range(300):
+            for pc, bias in sites:
+                outcome = rng.random() < bias
+                if round_index >= 100:
+                    if predictor.predict(pc) == outcome:
+                        correct += 1
+                    total += 1
+                    ceiling += max(bias, 1 - bias)
+                predictor.update(pc, outcome)
+        accuracy = correct / total
+        # 2-bit counters on Bernoulli branches sit a few points below the
+        # oracle ceiling (counter dithering); 8 points is the spec here.
+        assert accuracy >= (ceiling / total) - 0.08
+
+    def test_update_trains_toward_outcome_on_misprediction(self):
+        predictor = TwoBcGskewPredictor(bank_entries=1 << 10)
+        for _ in range(8):
+            predictor.update(0x20, False)
+        assert not predictor.predict(0x20)
+        for _ in range(8):
+            predictor.update(0x20, True)
+        assert predictor.predict(0x20)

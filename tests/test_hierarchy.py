@@ -1,0 +1,89 @@
+"""Tests for the memory hierarchy (repro.memory.hierarchy)."""
+
+from repro.config import MemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TestLatencies:
+    def test_l1_hit_is_two_cycles(self):
+        memory = MemoryHierarchy()
+        memory.access(0x1000, cycle=0)  # warm
+        result = memory.access(0x1000, cycle=10)
+        assert result.l1_hit
+        assert result.latency == 2
+
+    def test_l2_hit_is_fourteen_cycles(self):
+        memory = MemoryHierarchy()
+        memory.access(0x1000, cycle=0)  # now in both levels
+        memory.l1.flush()
+        result = memory.access(0x1000, cycle=1000)
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == 2 + 12
+
+    def test_memory_miss_is_ninety_four_cycles(self):
+        memory = MemoryHierarchy()
+        result = memory.access(0x4000, cycle=0)
+        assert not result.l1_hit and not result.l2_hit
+        assert result.latency == 2 + 12 + 80
+
+    def test_store_updates_caches(self):
+        memory = MemoryHierarchy()
+        memory.access(0x2000, cycle=0, is_store=True)
+        result = memory.access(0x2000, cycle=10)
+        assert result.l1_hit
+
+
+class TestRefillBandwidth:
+    def test_back_to_back_misses_queue_on_the_l2_bus(self):
+        memory = MemoryHierarchy()
+        first = memory.access(0x0000, cycle=0)
+        second = memory.access(0x10000, cycle=0)
+        third = memory.access(0x20000, cycle=0)
+        refill = memory.config.l2_refill_cycles
+        assert first.latency == 94
+        assert second.latency == 94 + refill
+        assert third.latency == 94 + 2 * refill
+
+    def test_spaced_misses_do_not_queue(self):
+        memory = MemoryHierarchy()
+        first = memory.access(0x0000, cycle=0)
+        second = memory.access(0x10000, cycle=500)
+        assert first.latency == second.latency == 94
+
+
+class TestAccounting:
+    def test_load_store_counters(self):
+        memory = MemoryHierarchy()
+        memory.access(0x0, 0)
+        memory.access(0x0, 1, is_store=True)
+        assert memory.loads == 1
+        assert memory.stores == 1
+        assert memory.accesses == 2
+
+    def test_summary_fields(self):
+        memory = MemoryHierarchy()
+        memory.access(0x0, 0)
+        summary = memory.summary()
+        assert summary["accesses"] == 1
+        assert 0.0 <= summary["l1_miss_rate"] <= 1.0
+
+    def test_warm_preloads_addresses(self):
+        memory = MemoryHierarchy()
+        memory.warm(range(0, 4096, 64))
+        memory.reset_stats()
+        result = memory.access(0x0, cycle=10_000)
+        assert result.l1_hit or result.l2_hit
+
+    def test_reset_stats(self):
+        memory = MemoryHierarchy()
+        memory.access(0x0, 0)
+        memory.reset_stats()
+        assert memory.accesses == 0
+        assert memory.l1.accesses == 0
+
+
+class TestCustomConfig:
+    def test_custom_refill_bandwidth(self):
+        config = MemoryConfig(l2_bytes_per_cycle=64)
+        memory = MemoryHierarchy(config)
+        assert memory.config.l2_refill_cycles == 1

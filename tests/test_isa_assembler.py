@@ -1,0 +1,150 @@
+"""Tests for SimISA registers and the assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.registers import (
+    FP_BASE,
+    is_fp,
+    isa_machine_config,
+    parse_register,
+    register_name,
+)
+from repro.trace.model import OpClass
+
+
+class TestRegisters:
+    def test_parse_integer_registers(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+        assert parse_register("R5") == 5
+
+    def test_parse_fp_registers(self):
+        assert parse_register("f0") == FP_BASE
+        assert parse_register("f31") == FP_BASE + 31
+
+    def test_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            parse_register("r32")
+        with pytest.raises(AssemblyError):
+            parse_register("f99")
+
+    def test_garbage(self):
+        with pytest.raises(AssemblyError):
+            parse_register("x3")
+
+    def test_roundtrip(self):
+        for flat in (0, 5, 31, FP_BASE, FP_BASE + 7):
+            assert parse_register(register_name(flat)) == flat
+
+    def test_is_fp(self):
+        assert not is_fp(31)
+        assert is_fp(FP_BASE)
+
+    def test_isa_machine_config(self):
+        from repro.config import baseline_rr_256
+
+        config = isa_machine_config(baseline_rr_256())
+        assert config.int_logical_registers == 32
+        assert config.fp_logical_registers == 32
+        config.validate()
+
+
+class TestAssemblerParsing:
+    def test_three_register_form(self):
+        program = assemble("add r3, r1, r2")
+        inst = program.instructions[0]
+        assert inst.spec.mnemonic == "add"
+        assert (inst.dest, inst.src1, inst.src2) == (3, 1, 2)
+        assert inst.immediate is None
+
+    def test_register_immediate_form(self):
+        inst = assemble("add r3, r1, #8").instructions[0]
+        assert (inst.dest, inst.src1, inst.src2) == (3, 1, None)
+        assert inst.immediate == 8
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("mov r1, #0x40\nmov r2, #-5")
+        assert program.instructions[0].immediate == 0x40
+        assert program.instructions[1].immediate == -5
+
+    def test_memory_forms(self):
+        program = assemble("ld r2, r1, #16\nst r2, r1, #24")
+        ld, st = program.instructions
+        assert ld.spec.op_class == OpClass.LOAD
+        assert (ld.dest, ld.src1, ld.immediate) == (2, 1, 16)
+        assert st.spec.op_class == OpClass.STORE
+        # store: base in src1, datum in src2 (trace convention)
+        assert (st.dest, st.src1, st.src2, st.immediate) == (None, 1, 2, 24)
+
+    def test_fp_memory_forms(self):
+        inst = assemble("ldf f2, r1, #0").instructions[0]
+        assert inst.dest == FP_BASE + 2
+        assert inst.src1 == 1
+
+    def test_branch_form(self):
+        program = assemble("loop:\nbgt r1, loop")
+        inst = program.instructions[0]
+        assert inst.spec.condition == "gt"
+        assert inst.src1 == 1
+        assert inst.target == "loop"
+
+    def test_labels_point_at_the_next_instruction(self):
+        program = assemble("mov r1, #1\ntop:\nadd r1, r1, #1\njmp top")
+        assert program.labels["top"] == 1
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        ; leading comment
+        mov r1, #3   ; trailing comment
+        add r2, r1, #1  # hash comment
+        """
+        program = assemble(source)
+        assert len(program) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("ADD r1, r2, r3").instructions[0].spec.mnemonic \
+            == "add"
+
+
+class TestAssemblerErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("mov r1, #0\nbogus r1")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_fp_instruction_rejects_integer_registers(self):
+        with pytest.raises(AssemblyError, match="floating-point"):
+            assemble("fadd f1, r2, f3")
+
+    def test_int_instruction_rejects_fp_registers(self):
+        with pytest.raises(AssemblyError, match="integer"):
+            assemble("add r1, f2, r3")
+
+    def test_fp_rejects_immediates(self):
+        with pytest.raises(AssemblyError, match="no immediates"):
+            assemble("fadd f1, f2, #3")
+
+    def test_memory_offset_must_be_immediate(self):
+        with pytest.raises(AssemblyError, match="offset"):
+            assemble("ld r1, r2, r3")
+
+    def test_nop_takes_no_operands(self):
+        with pytest.raises(AssemblyError, match="no operands"):
+            assemble("nop r1")

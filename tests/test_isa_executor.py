@@ -1,0 +1,210 @@
+"""Tests for the SimISA functional executor."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.assembler import assemble
+from repro.isa.executor import Executor, execute_program
+from repro.isa.registers import FP_BASE
+from repro.trace.model import OpClass
+
+
+def run(source: str, max_instructions: int = 10_000) -> Executor:
+    executor = Executor(assemble(source))
+    for _ in executor.run(max_instructions):
+        pass
+    return executor
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        ex = run("mov r1, #7\nadd r2, r1, #5\nsub r3, r2, r1\nhalt")
+        assert ex.int_regs[2] == 12
+        assert ex.int_regs[3] == 5
+
+    def test_logic(self):
+        ex = run("mov r1, #12\nmov r2, #10\n"
+                 "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt")
+        assert ex.int_regs[3] == 12 & 10
+        assert ex.int_regs[4] == 12 | 10
+        assert ex.int_regs[5] == 12 ^ 10
+
+    def test_shifts(self):
+        ex = run("mov r1, #3\nsll r2, r1, #4\nsrl r3, r2, #2\nhalt")
+        assert ex.int_regs[2] == 48
+        assert ex.int_regs[3] == 12
+
+    def test_mul_div(self):
+        ex = run("mov r1, #6\nmul r2, r1, #7\ndiv r3, r2, #5\nhalt")
+        assert ex.int_regs[2] == 42
+        assert ex.int_regs[3] == 8
+
+    def test_div_by_zero_yields_zero(self):
+        ex = run("mov r1, #5\ndiv r2, r1, #0\nhalt")
+        assert ex.int_regs[2] == 0
+
+    def test_neg_and_mov_register(self):
+        ex = run("mov r1, #9\nneg r2, r1\nmov r3, r2\nhalt")
+        assert ex.int_regs[2] == -9
+        assert ex.int_regs[3] == -9
+
+    def test_64bit_wraparound(self):
+        ex = run("mov r1, #1\nsll r2, r1, #63\nadd r3, r2, r2\nhalt")
+        assert ex.int_regs[3] == 0  # 2^64 wraps to zero
+
+    def test_r0_is_hardwired_zero(self):
+        ex = run("mov r0, #7\nadd r1, r0, #3\nhalt")
+        assert ex.int_regs[0] == 0
+        assert ex.int_regs[1] == 3
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        ex = run("mov r1, #0x100\nmov r2, #42\nst r2, r1, #0\n"
+                 "ld r3, r1, #0\nhalt")
+        assert ex.int_regs[3] == 42
+
+    def test_offsets(self):
+        ex = run("mov r1, #0x100\nmov r2, #7\nst r2, r1, #8\n"
+                 "ld r3, r1, #8\nld r4, r1, #0\nhalt")
+        assert ex.int_regs[3] == 7
+        assert ex.int_regs[4] == 0  # untouched memory reads zero
+
+    def test_fp_memory(self):
+        ex = Executor(assemble(
+            "mov r1, #0x200\nldf f1, r1, #0\nfadd f2, f1, f1\nhalt"))
+        ex.store(0x200, 2.5)
+        for _ in ex.run():
+            pass
+        assert ex.fp_regs[2] == 5.0
+
+    def test_negative_address_is_an_error(self):
+        with pytest.raises(ExecutionError):
+            run("mov r1, #-8\nld r2, r1, #0\nhalt")
+
+
+class TestFloatingPoint:
+    def test_fp_ops(self):
+        ex = Executor(assemble(
+            "fadd f3, f1, f2\nfmul f4, f1, f2\nfsub f5, f1, f2\n"
+            "fdiv f6, f1, f2\nfsqrt f7, f4\nhalt"))
+        ex.fp_regs[1] = 9.0
+        ex.fp_regs[2] = 4.0
+        for _ in ex.run():
+            pass
+        assert ex.fp_regs[3] == 13.0
+        assert ex.fp_regs[4] == 36.0
+        assert ex.fp_regs[5] == 5.0
+        assert ex.fp_regs[6] == 2.25
+        assert ex.fp_regs[7] == 6.0
+
+    def test_fdiv_by_zero(self):
+        ex = Executor(assemble("fdiv f3, f1, f2\nhalt"))
+        ex.fp_regs[1] = 1.0
+        for _ in ex.run():
+            pass
+        assert ex.fp_regs[3] == 0.0
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        source = """
+            mov r1, #0
+            mov r2, #10
+        loop:
+            add r1, r1, #1
+            sub r3, r1, r2
+            blt r3, loop
+            halt
+        """
+        ex = run(source)
+        assert ex.int_regs[1] == 10
+
+    def test_forward_branch_skips(self):
+        source = """
+            mov r1, #1
+            beq r0, skip
+            mov r1, #99
+        skip:
+            halt
+        """
+        ex = run(source)
+        assert ex.int_regs[1] == 1
+
+    def test_jmp_is_unconditional(self):
+        source = "jmp end\nmov r1, #99\nend:\nhalt"
+        ex = run(source)
+        assert ex.int_regs[1] == 0
+
+    def test_fibonacci(self):
+        source = """
+            mov r1, #0
+            mov r2, #10
+            mov r3, #0
+            mov r4, #1
+        loop:
+            add r5, r3, r4
+            mov r3, r4
+            mov r4, r5
+            add r1, r1, #1
+            sub r6, r1, r2
+            blt r6, loop
+            halt
+        """
+        ex = run(source)
+        assert ex.int_regs[4] == 89  # fib(11)
+
+    def test_max_instructions_bounds_runaway_loops(self):
+        executor = Executor(assemble("spin:\njmp spin"))
+        consumed = sum(1 for _ in executor.run(max_instructions=500))
+        assert consumed == 500
+
+    def test_falling_off_the_end_halts(self):
+        ex = run("mov r1, #1")
+        assert ex.halted
+
+
+class TestTraceEmission:
+    def test_trace_matches_execution_path(self):
+        source = """
+            mov r1, #2
+        loop:
+            sub r1, r1, #1
+            bgt r1, loop
+            halt
+        """
+        trace = list(execute_program(assemble(source)))
+        ops = [t.op for t in trace]
+        assert ops == [OpClass.IALU, OpClass.IALU, OpClass.BRANCH,
+                       OpClass.IALU, OpClass.BRANCH, OpClass.NOP]
+        assert trace[2].taken is True
+        assert trace[4].taken is False
+
+    def test_trace_records_addresses(self):
+        trace = list(execute_program(assemble(
+            "mov r1, #0x340\nst r1, r1, #8\nhalt")))
+        assert trace[1].addr == 0x348
+
+    def test_trace_register_encoding_is_flat(self):
+        trace = list(execute_program(assemble("fadd f1, f2, f3\nhalt")))
+        assert trace[0].dest == FP_BASE + 1
+        assert trace[0].src1 == FP_BASE + 2
+
+    def test_commutativity_flags(self):
+        trace = list(execute_program(assemble(
+            "add r1, r2, r3\nsub r4, r5, r6\nadd r7, r8, #1\nhalt")))
+        assert trace[0].commutative          # dyadic add
+        assert not trace[1].commutative      # sub is not commutative
+        assert not trace[2].commutative      # monadic: nothing to swap
+
+    def test_branch_pcs_are_stable_across_iterations(self):
+        source = """
+            mov r1, #3
+        loop:
+            sub r1, r1, #1
+            bgt r1, loop
+            halt
+        """
+        trace = list(execute_program(assemble(source)))
+        branch_pcs = {t.pc for t in trace if t.is_branch}
+        assert len(branch_pcs) == 1

@@ -1,0 +1,42 @@
+"""Tests for the program container (repro.isa.program)."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.program import TEXT_BASE, Program
+
+
+class TestProgram:
+    def test_pc_of_index(self):
+        program = assemble("nop\nnop\nnop")
+        assert program.pc_of_index(0) == TEXT_BASE
+        assert program.pc_of_index(2) == TEXT_BASE + 8
+
+    def test_len(self):
+        assert len(assemble("nop\nnop")) == 2
+
+    def test_index_of_label(self):
+        program = assemble("nop\nhere:\nnop")
+        assert program.index_of_label("here") == 1
+
+    def test_index_of_missing_label(self):
+        program = assemble("nop")
+        with pytest.raises(AssemblyError, match="undefined label"):
+            program.index_of_label("missing")
+
+    def test_resolve_targets_catches_dangling_branches(self):
+        # construct a broken program by hand (the assembler would catch
+        # this itself)
+        program = assemble("loop:\njmp loop")
+        program.instructions[0].target = "gone"
+        with pytest.raises(AssemblyError, match="undefined label"):
+            program.resolve_targets()
+
+    def test_source_name_default(self):
+        assert Program().source_name == "<memory>"
+
+    def test_instruction_str_is_printable(self):
+        program = assemble("add r1, r2, #4\njmp out\nout:\nnop")
+        for instruction in program.instructions:
+            assert str(instruction)

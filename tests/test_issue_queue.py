@@ -1,0 +1,124 @@
+"""Tests for the per-cluster scheduler (repro.core.issue_queue)."""
+
+from repro.core.issue_queue import ClusterScheduler
+from repro.core.uop import InFlightUop
+from repro.trace.model import OpClass, TraceInstruction
+
+
+def make_uop(seq: int, op=OpClass.IALU, cluster: int = 0) -> InFlightUop:
+    inst = TraceInstruction(op, dest=1, src1=2)
+    return InFlightUop(seq, inst, cluster, False, None, None, 100 + seq,
+                       None, dispatch_cycle=0)
+
+
+def scheduler(width=2, alus=2, lsus=1, fpus=1) -> ClusterScheduler:
+    return ClusterScheduler(0, width, alus, lsus, fpus)
+
+
+class TestWakeAndSelect:
+    def test_not_ready_before_wake_cycle(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0), earliest_cycle=5)
+        assert sched.select(4) == []
+        assert [u.seq for u in sched.select(5)] == [0]
+
+    def test_oldest_first(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(3), 1)
+        sched.enqueue(make_uop(1), 1)
+        sched.enqueue(make_uop(2), 1)
+        picked = sched.select(1)
+        assert [u.seq for u in picked] == [1, 2]
+
+    def test_issue_width_limit(self):
+        sched = scheduler(width=2)
+        for seq in range(5):
+            sched.enqueue(make_uop(seq), 1)
+        assert len(sched.select(1)) == 2
+        assert len(sched.select(2)) == 2
+        assert len(sched.select(3)) == 1
+
+    def test_late_waker_still_ordered_by_age(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(5), 1)  # young, ready early
+        sched.enqueue(make_uop(2), 3)  # old, ready later
+        assert [u.seq for u in sched.select(1)] == [5]
+        assert [u.seq for u in sched.select(3)] == [2]
+
+
+class TestStructuralHazards:
+    def test_single_lsu(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1, OpClass.STORE), 1)
+        picked = sched.select(1)
+        assert [u.seq for u in picked] == [0]
+        assert [u.seq for u in sched.select(2)] == [1]
+
+    def test_single_fpu(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.FPADD), 1)
+        sched.enqueue(make_uop(1, OpClass.FPMUL), 1)
+        assert len(sched.select(1)) == 1
+
+    def test_mixed_units_fill_the_width(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1, OpClass.FPADD), 1)
+        sched.enqueue(make_uop(2, OpClass.IALU), 1)
+        picked = sched.select(1)
+        assert [u.seq for u in picked] == [0, 1]  # width 2, oldest first
+
+    def test_alu_limit(self):
+        sched = scheduler(width=4, alus=2)
+        for seq in range(4):
+            sched.enqueue(make_uop(seq, OpClass.IALU), 1)
+        assert len(sched.select(1)) == 2
+
+    def test_rejected_uop_competes_again(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1, OpClass.LOAD), 1)
+        sched.select(1)
+        assert [u.seq for u in sched.select(2)] == [1]
+
+
+class TestVeto:
+    def test_vetoed_uop_does_not_consume_budget(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1), 1)
+        sched.enqueue(make_uop(2), 1)
+        picked = sched.select(1, veto=lambda u: u.inst.op == OpClass.LOAD)
+        assert [u.seq for u in picked] == [1, 2]
+
+    def test_vetoed_uop_returns_next_cycle(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        assert sched.select(1, veto=lambda u: True) == []
+        assert [u.seq for u in sched.select(2)] == [0]
+
+
+class TestOccupancy:
+    def test_queued_counts_pending_and_ready(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0), 1)
+        sched.enqueue(make_uop(1), 10)
+        sched.wake(1)
+        assert sched.queued == 2
+        sched.select(1)
+        assert sched.queued == 1
+
+    def test_reinsert_ready(self):
+        sched = scheduler()
+        uop = make_uop(0)
+        sched.enqueue(uop, 1)
+        picked = sched.select(1)
+        sched.reinsert_ready(picked[0])
+        assert [u.seq for u in sched.select(2)] == [0]
+
+    def test_is_empty(self):
+        sched = scheduler()
+        assert sched.is_empty()
+        sched.enqueue(make_uop(0), 1)
+        assert not sched.is_empty()

@@ -1,0 +1,79 @@
+"""Tests for bypass-locality accounting and the type-pool policy."""
+
+from repro.allocation.policies import TypePoolAllocator, make_allocator
+from repro.config import baseline_rr_256, ws_rr, wsrs_rc
+from repro.core.processor import simulate
+from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.profiles import spec_trace
+from tests.conftest import branch, ialu, load, store
+
+
+class TestBypassLocality:
+    def test_round_robin_chain_is_never_local(self):
+        """Round-robin places each chain link on the next cluster."""
+        trace = [ialu(1, src1=1) for _ in range(200)]
+        stats = simulate(baseline_rr_256(), iter(trace), measure=200)
+        assert stats.bypass_locality < 0.05
+
+    def test_wsrs_colocates_dependants(self):
+        """Section 4.3.1: WSRS places a statistically larger share of
+        consumers on the producing cluster than round-robin."""
+        base = simulate(baseline_rr_256(), spec_trace("gzip", 20_000),
+                        measure=10_000, warmup=10_000)
+        wsrs = simulate(wsrs_rc(512), spec_trace("gzip", 20_000),
+                        measure=10_000, warmup=10_000)
+        assert wsrs.bypass_locality > base.bypass_locality * 1.3
+
+    def test_locality_bounded(self):
+        stats = simulate(wsrs_rc(512), spec_trace("wupwise", 8_000),
+                         measure=8_000)
+        assert 0.0 <= stats.bypass_locality <= 1.0
+
+    def test_summary_exposes_locality(self):
+        stats = simulate(baseline_rr_256(), spec_trace("gzip", 2000),
+                         measure=2000)
+        assert "bypass_locality" in stats.summary()
+
+
+class TestTypePoolPolicy:
+    def test_mapping_by_op_class(self):
+        allocator = TypePoolAllocator(4)
+        assert allocator.allocate(load(1, 2))[0] \
+            == TypePoolAllocator.POOL_MEMORY
+        assert allocator.allocate(store(1, 2))[0] \
+            == TypePoolAllocator.POOL_MEMORY
+        assert allocator.allocate(branch(1, True))[0] \
+            == TypePoolAllocator.POOL_BRANCH
+        assert allocator.allocate(ialu(1, 2, 3))[0] \
+            == TypePoolAllocator.POOL_SIMPLE
+        muldiv = TraceInstruction(OpClass.IMULDIV, dest=1, src1=2, src2=3)
+        assert allocator.allocate(muldiv)[0] \
+            == TypePoolAllocator.POOL_COMPLEX
+
+    def test_registered_in_factory(self):
+        assert make_allocator("type_pools").name == "type_pools"
+        assert not make_allocator("type_pools").wsrs_legal
+
+    def test_runs_on_a_ws_machine(self):
+        """Figure 2b: pools with write specialization, end to end."""
+        config = ws_rr(512, allocation_policy="type_pools",
+                       name="WS pools")
+        stats = simulate(config, spec_trace("gzip", 4000), measure=4000)
+        assert stats.committed == 4000
+        # the simple-ALU pool dominates a typical integer stream
+        shares = stats.workload_shares
+        assert shares[TypePoolAllocator.POOL_SIMPLE] == max(shares)
+
+    def test_pools_are_heavily_unbalanced(self):
+        config = ws_rr(512, allocation_policy="type_pools",
+                       name="WS pools")
+        stats = simulate(config, spec_trace("gzip", 8000), measure=8000)
+        assert stats.unbalancing_degree > 95.0
+
+    def test_pools_cost_performance_against_round_robin(self):
+        trace = list(spec_trace("gzip", 6000))
+        pools = simulate(ws_rr(512, allocation_policy="type_pools",
+                               name="WS pools"),
+                         iter(trace), measure=6000)
+        rr = simulate(ws_rr(512), iter(trace), measure=6000)
+        assert pools.ipc < rr.ipc

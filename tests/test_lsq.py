@@ -1,0 +1,78 @@
+"""Tests for memory ordering (repro.core.lsq)."""
+
+from repro.core.lsq import WORD_BYTES, MemoryOrderQueue
+
+
+class TestInOrderAddressComputation:
+    def test_indices_are_sequential(self):
+        queue = MemoryOrderQueue()
+        assert queue.register() == 0
+        assert queue.register() == 1
+
+    def test_can_issue_only_in_order(self):
+        queue = MemoryOrderQueue()
+        first = queue.register()
+        second = queue.register()
+        assert queue.can_issue(first)
+        assert not queue.can_issue(second)
+        queue.issue_load(0x100, first)
+        assert queue.can_issue(second)
+
+    def test_issued_counter(self):
+        queue = MemoryOrderQueue()
+        index = queue.register()
+        queue.issue_store(seq=7, addr=0x40, mem_index=index)
+        assert queue.issued_memory_ops == 1
+
+
+class TestStoreForwarding:
+    def test_load_forwards_from_matching_store(self):
+        queue = MemoryOrderQueue()
+        store_index = queue.register()
+        load_index = queue.register()
+        queue.issue_store(seq=1, addr=0x100, mem_index=store_index)
+        assert queue.issue_load(0x100, load_index) == 1
+
+    def test_word_granular_conflicts(self):
+        queue = MemoryOrderQueue()
+        store_index = queue.register()
+        load_index = queue.register()
+        queue.issue_store(seq=1, addr=0x100, mem_index=store_index)
+        # same 8-byte word
+        assert queue.issue_load(0x104, load_index) == 1
+
+    def test_load_bypasses_non_conflicting_store(self):
+        queue = MemoryOrderQueue()
+        store_index = queue.register()
+        load_index = queue.register()
+        queue.issue_store(seq=1, addr=0x100, mem_index=store_index)
+        assert queue.issue_load(0x100 + WORD_BYTES, load_index) is None
+
+    def test_youngest_matching_store_wins(self):
+        queue = MemoryOrderQueue()
+        indices = [queue.register() for _ in range(3)]
+        queue.issue_store(seq=1, addr=0x80, mem_index=indices[0])
+        queue.issue_store(seq=2, addr=0x80, mem_index=indices[1])
+        assert queue.issue_load(0x80, indices[2]) == 2
+
+    def test_committed_store_no_longer_forwards(self):
+        queue = MemoryOrderQueue()
+        store_index = queue.register()
+        load_index = queue.register()
+        queue.issue_store(seq=1, addr=0x80, mem_index=store_index)
+        queue.commit_store(seq=1)
+        assert queue.issue_load(0x80, load_index) is None
+        assert queue.outstanding_stores == 0
+
+    def test_commit_keeps_younger_store_to_same_word(self):
+        queue = MemoryOrderQueue()
+        indices = [queue.register() for _ in range(3)]
+        queue.issue_store(seq=1, addr=0x80, mem_index=indices[0])
+        queue.issue_store(seq=2, addr=0x80, mem_index=indices[1])
+        queue.commit_store(seq=1)  # must not remove store 2's entry
+        assert queue.issue_load(0x80, indices[2]) == 2
+
+    def test_commit_of_unknown_store_is_harmless(self):
+        queue = MemoryOrderQueue()
+        queue.commit_store(seq=99)
+        assert queue.outstanding_stores == 0

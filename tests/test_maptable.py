@@ -1,0 +1,38 @@
+"""Tests for the map table (repro.rename.maptable)."""
+
+import pytest
+
+from repro.rename.maptable import MapTable
+
+
+class TestMapTable:
+    def test_initial_mapping(self):
+        table = MapTable(4, [10, 11, 12, 13])
+        assert table.lookup(0) == 10
+        assert table.lookup(3) == 13
+
+    def test_install_returns_previous(self):
+        table = MapTable(2, [5, 6])
+        assert table.install(0, 9) == 5
+        assert table.lookup(0) == 9
+
+    def test_requires_full_initial_mapping(self):
+        with pytest.raises(ValueError):
+            MapTable(3, [1, 2])
+
+    def test_snapshot_is_a_copy(self):
+        table = MapTable(2, [1, 2])
+        snapshot = table.snapshot()
+        table.install(0, 7)
+        assert snapshot == [1, 2]
+
+    def test_count_mapped_in_range(self):
+        table = MapTable(4, [0, 5, 10, 15])
+        assert table.count_mapped_in_range(0, 8) == 2
+        assert table.count_mapped_in_range(8, 16) == 2
+        assert table.count_mapped_in_range(16, 32) == 0
+
+    def test_find_logical_for(self):
+        table = MapTable(3, [4, 5, 6])
+        assert table.find_logical_for(5) == 1
+        assert table.find_logical_for(99) is None

@@ -1,0 +1,169 @@
+"""Tests for the assembly microbenchmark library (repro.trace.microbench)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.executor import Executor
+from repro.trace.microbench import (
+    _prepare_int_vector,
+    _prepare_matrices,
+    _prepare_pointer_chase,
+    _prepare_vector,
+    microbenchmark_names,
+    microbenchmark_program,
+    microbenchmark_trace,
+)
+from repro.trace.model import OpClass
+
+
+class TestCatalog:
+    def test_names(self):
+        assert microbenchmark_names() == [
+            "bubble_sort", "daxpy", "fib", "histogram", "matmul",
+            "memcpy", "pointer_chase", "reduction"]
+
+    def test_unknown_kernel(self):
+        with pytest.raises(TraceError, match="unknown microbenchmark"):
+            microbenchmark_program("quicksort")
+
+    @pytest.mark.parametrize("name", ["daxpy", "fib", "memcpy",
+                                      "pointer_chase", "reduction",
+                                      "histogram"])
+    def test_each_kernel_assembles_and_runs(self, name):
+        trace = list(microbenchmark_trace(name, n=32))
+        assert len(trace) > 32
+        assert trace[-1].op == OpClass.NOP  # the halt
+
+    def test_matmul_runs(self):
+        trace = list(microbenchmark_trace("matmul", n=4))
+        assert any(t.op == OpClass.FPMUL for t in trace)
+
+
+class TestFunctionalCorrectness:
+    def test_memcpy_actually_copies(self):
+        program = microbenchmark_program("memcpy", n=16)
+        executor = Executor(program)
+        _prepare_int_vector(executor, 16)
+        for _ in executor.run():
+            pass
+        for index in range(16):
+            assert executor.load(0x8000 + 8 * index) \
+                == executor.load(0x1000 + 8 * index)
+
+    def test_daxpy_computes_y_plus_ax(self):
+        program = microbenchmark_program("daxpy", n=8)
+        executor = Executor(program)
+        _prepare_vector(executor, 8)
+        executor.fp_regs[0] = 2.0  # a
+        xs = [executor.load(0x1000 + 8 * i) for i in range(8)]
+        ys = [executor.load(0x8000 + 8 * i) for i in range(8)]
+        for _ in executor.run():
+            pass
+        for i in range(8):
+            assert executor.load(0x8000 + 8 * i) \
+                == pytest.approx(ys[i] + 2.0 * xs[i])
+
+    def test_reduction_sums_the_vector(self):
+        program = microbenchmark_program("reduction", n=10)
+        executor = Executor(program)
+        _prepare_vector(executor, 10)
+        expected = sum(executor.load(0x1000 + 8 * i) for i in range(10))
+        for _ in executor.run():
+            pass
+        assert executor.fp_regs[1] == pytest.approx(expected)
+
+    def test_matmul_matches_reference(self):
+        n = 3
+        program = microbenchmark_program("matmul", n=n)
+        executor = Executor(program)
+        _prepare_matrices(executor, n)
+        a = [[executor.load(0x1000 + 8 * (i * n + k)) for k in range(n)]
+             for i in range(n)]
+        b = [[executor.load(0x20000 + 8 * (k * n + j)) for j in range(n)]
+             for k in range(n)]
+        for _ in executor.run():
+            pass
+        for i in range(n):
+            for j in range(n):
+                expected = sum(a[i][k] * b[k][j] for k in range(n))
+                assert executor.load(0x40000 + 8 * (i * n + j)) \
+                    == pytest.approx(expected)
+
+    def test_pointer_chase_walks_every_node(self):
+        program = microbenchmark_program("pointer_chase", n=16)
+        executor = Executor(program)
+        _prepare_pointer_chase(executor, 16)
+        visited = set()
+        pointer = 0x1000
+        for _ in range(16):
+            visited.add(pointer)
+            pointer = executor.load(pointer)
+        assert len(visited) == 16  # the list is a single 16-node cycle
+
+    def test_bubble_sort_sorts(self):
+        from repro.trace.microbench import _prepare_sort_input
+
+        program = microbenchmark_program("bubble_sort", n=10)
+        executor = Executor(program)
+        _prepare_sort_input(executor, 10)
+        for _ in executor.run(1_000_000):
+            pass
+        values = [executor.load(0x1000 + 8 * i) for i in range(10)]
+        assert values == sorted(values)
+
+    def test_bubble_sort_has_data_dependent_branches(self):
+        trace = list(microbenchmark_trace("bubble_sort", n=16))
+        branches = [t for t in trace if t.is_branch]
+        # the swap-skip branch goes both ways on shuffled input
+        taken = sum(t.taken for t in branches)
+        assert 0 < taken < len(branches)
+
+    def test_histogram_counts_buckets(self):
+        import collections
+
+        from repro.trace.microbench import _prepare_histogram_input
+
+        program = microbenchmark_program("histogram", n=48)
+        executor = Executor(program)
+        _prepare_histogram_input(executor, 48)
+        inputs = [executor.load(0x1000 + 8 * i) for i in range(48)]
+        for _ in executor.run():
+            pass
+        expected = collections.Counter(v & 15 for v in inputs)
+        for bucket in range(16):
+            assert executor.load(0x8000 + 8 * bucket) \
+                == expected.get(bucket, 0)
+
+    def test_histogram_simulates_cleanly(self):
+        """Bucket increments are read-modify-write chains: the in-order
+        address-computation and store-buffer machinery must keep the
+        same-word traffic consistent and the run must complete."""
+        from repro.config import baseline_rr_256
+        from repro.core.processor import simulate
+        from repro.isa.registers import isa_machine_config
+
+        trace = list(microbenchmark_trace("histogram", n=256))
+        stats = simulate(isa_machine_config(baseline_rr_256()),
+                         iter(trace), measure=len(trace))
+        assert stats.committed == len(trace)
+        assert stats.loads > stats.stores > 0
+
+    def test_fib_loop_count(self):
+        trace = list(microbenchmark_trace("fib", n=20))
+        branches = [t for t in trace if t.is_branch]
+        assert len(branches) == 20
+        assert sum(t.taken for t in branches) == 19
+
+
+class TestTraceShape:
+    def test_pointer_chase_loads_are_serial(self):
+        trace = list(microbenchmark_trace("pointer_chase", n=8))
+        loads = [t for t in trace if t.is_load]
+        # every load reads and writes the same pointer register
+        assert all(t.src1 == t.dest for t in loads)
+
+    def test_reduction_has_a_loop_carried_fp_chain(self):
+        trace = list(microbenchmark_trace("reduction", n=8))
+        adds = [t for t in trace if t.op == OpClass.FPADD
+                and t.is_dyadic]
+        assert all(t.dest == t.src1 for t in adds)

@@ -1,0 +1,189 @@
+"""Timing-semantics tests for the core processor on tiny hand traces."""
+
+import pytest
+
+from repro.config import baseline_rr_256
+from repro.core.processor import DeadlockedPipeline, Processor, simulate
+from repro.frontend.predictors import AlwaysTakenPredictor
+from repro.trace.model import OpClass, TraceInstruction
+from tests.conftest import branch, ialu, load, store
+
+
+def run_trace(trace, config=None, predictor=None):
+    processor = Processor(config or baseline_rr_256(), trace,
+                          predictor=predictor or AlwaysTakenPredictor())
+    processor.run(measure=len(trace) + 10)
+    return processor
+
+
+class TestCompletion:
+    def test_commits_every_instruction(self):
+        trace = [ialu(1 + (i % 8)) for i in range(100)]
+        processor = run_trace(trace)
+        assert processor.stats.committed == 100
+        assert processor.rob_occupancy == 0
+
+    def test_empty_trace(self):
+        processor = run_trace([])
+        assert processor.stats.committed == 0
+
+    def test_measure_limit_stops_early(self):
+        trace = [ialu(1) for _ in range(64)]
+        stats = simulate(baseline_rr_256(), trace, measure=16)
+        assert 16 <= stats.committed <= 16 + 8  # one commit burst at most
+
+    def test_independent_instructions_achieve_wide_ipc(self):
+        # 8 independent streams of ALU work: should sustain IPC well > 1
+        trace = [ialu(1 + (i % 32)) for i in range(2000)]
+        processor = run_trace(trace)
+        assert processor.stats.ipc > 3.0
+
+
+class TestDependencyTiming:
+    def test_serial_chain_runs_at_one_ipc_when_colocated(self):
+        """A same-cluster chain of 1-cycle ops issues back-to-back."""
+        config = baseline_rr_256(allocation_policy="least_loaded")
+        trace = [ialu(1, src1=1) for _ in range(400)]
+        processor = run_trace(trace, config)
+        # serial chain: cannot beat 1 IPC...
+        assert processor.stats.ipc <= 1.01
+
+    def test_round_robin_chain_pays_intercluster_delay(self):
+        """Round-robin spreads a chain across clusters: every edge pays
+        the one-cycle forwarding delay, halving throughput."""
+        trace = [ialu(1, src1=1) for _ in range(400)]
+        processor = run_trace(trace, baseline_rr_256())
+        assert 0.4 < processor.stats.ipc < 0.56
+
+    def test_complete_fastforward_removes_the_delay(self):
+        config = baseline_rr_256(fastforward="complete")
+        trace = [ialu(1, src1=1) for _ in range(400)]
+        processor = run_trace(trace, config)
+        assert processor.stats.ipc > 0.9
+
+    def test_fp_chain_paced_by_latency(self):
+        config = baseline_rr_256(fastforward="complete")
+        trace = [TraceInstruction(OpClass.FPADD, dest=80, src1=80, src2=81)
+                 for _ in range(200)]
+        processor = run_trace(trace, config)
+        # 4-cycle FPADD chain -> 0.25 IPC
+        assert abs(processor.stats.ipc - 0.25) < 0.02
+
+    def test_muldiv_latency(self):
+        config = baseline_rr_256(fastforward="complete")
+        trace = [TraceInstruction(OpClass.IMULDIV, dest=1, src1=1, src2=2)
+                 for _ in range(100)]
+        processor = run_trace(trace, config)
+        assert abs(processor.stats.ipc - 1 / 15) < 0.005
+
+
+class TestLoadTiming:
+    def test_dependent_load_chain_paced_by_l1_latency(self):
+        config = baseline_rr_256(fastforward="complete")
+        # warm line at 0x1000, then a serial pointer-style chain on it
+        trace = [load(1, 1, addr=0x1000) for _ in range(200)]
+        for inst in trace:
+            inst.src1 = 1
+        processor = run_trace(trace, config)
+        # steady state: one load every 2 cycles (L1 hit latency), plus
+        # one amortised 94-cycle compulsory miss: 200 / (2*200 + 94)
+        assert 0.38 < processor.stats.ipc < 0.52
+
+    def test_store_forwarding_counted(self):
+        trace = []
+        for index in range(50):
+            trace.append(store(1, 2, addr=0x2000))
+            trace.append(load(3 + index % 4, 1, addr=0x2000))
+        processor = run_trace(trace)
+        assert processor.stats.store_forwards > 0
+
+    def test_cache_misses_counted(self):
+        trace = [load(1 + i % 8, 1, addr=0x10000 + 64 * i)
+                 for i in range(100)]
+        processor = run_trace(trace)
+        assert processor.stats.l1_misses == 100
+        assert processor.stats.l2_misses == 100
+
+
+class TestBranchHandling:
+    def test_correct_predictions_cost_nothing(self):
+        trace = []
+        for i in range(50):
+            trace.append(ialu(1 + i % 8))
+            trace.append(branch(1, taken=True))  # always-taken predictor
+        processor = run_trace(trace)
+        assert processor.stats.mispredictions == 0
+        assert processor.stats.ipc > 2.0
+
+    def test_mispredictions_stall_delivery(self):
+        taken = [branch(1, taken=True, pc=0x40) if i % 10 == 9
+                 else ialu(1 + i % 8) for i in range(300)]
+        not_taken = [branch(1, taken=False, pc=0x40) if i % 10 == 9
+                     else ialu(1 + i % 8) for i in range(300)]
+        good = run_trace(taken).stats  # always-taken: no mispredicts
+        bad = run_trace(not_taken).stats  # every branch mispredicts
+        assert bad.mispredictions == 30
+        assert bad.cycles > good.cycles + 30 * 17  # at least the penalty
+
+    def test_penalty_scales_with_config(self):
+        trace = [branch(1, taken=False, pc=0x40) if i % 8 == 7
+                 else ialu(1 + i % 8) for i in range(400)]
+        short = run_trace(trace, baseline_rr_256(mispredict_penalty=5))
+        long = run_trace(trace, baseline_rr_256(mispredict_penalty=25))
+        mispredicts = short.stats.mispredictions
+        assert mispredicts == 50
+        extra = long.stats.cycles - short.stats.cycles
+        assert extra >= mispredicts * (25 - 5)
+
+
+class TestStructuralLimits:
+    def test_rob_never_exceeds_capacity(self):
+        config = baseline_rr_256(rob_size=32)
+        trace = [TraceInstruction(OpClass.FPDIV, dest=80 + i % 16,
+                                  src1=80, src2=81) for i in range(100)]
+        processor = Processor(config, trace,
+                              predictor=AlwaysTakenPredictor())
+        max_seen = 0
+        for _ in range(2000):
+            processor.step()
+            max_seen = max(max_seen, processor.rob_occupancy)
+            if processor.stats.committed >= 100:
+                break
+        assert max_seen <= 32
+
+    def test_cluster_window_respected(self):
+        config = baseline_rr_256()
+        cap = config.cluster.max_inflight
+        trace = [TraceInstruction(OpClass.FPDIV, dest=80 + i % 16,
+                                  src1=80, src2=81) for i in range(300)]
+        processor = Processor(config, trace,
+                              predictor=AlwaysTakenPredictor())
+        for _ in range(3000):
+            processor.step()
+            assert all(occ <= cap
+                       for occ in processor.cluster_occupancies())
+            if processor.stats.committed >= 300:
+                break
+
+    def test_progress_guard_raises_on_wedged_machine(self):
+        # A branch that never resolves cannot happen in practice; emulate
+        # no-progress by an empty step loop with a huge blocked window.
+        config = baseline_rr_256()
+        processor = Processor(config, [ialu(1)],
+                              predictor=AlwaysTakenPredictor())
+        processor._rename_blocked_until = 1 << 40  # wedge the front end
+        with pytest.raises(DeadlockedPipeline):
+            processor._run_until(1)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self):
+        from repro.trace.profiles import spec_trace
+
+        first = simulate(baseline_rr_256(), spec_trace("gzip", 8000),
+                         measure=5000)
+        second = simulate(baseline_rr_256(), spec_trace("gzip", 8000),
+                          measure=5000)
+        assert first.cycles == second.cycles
+        assert first.committed == second.committed
+        assert first.mispredictions == second.mispredictions

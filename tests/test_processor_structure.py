@@ -1,0 +1,113 @@
+"""Structural-parameter sensitivity tests for the core processor."""
+
+from repro.config import baseline_rr_256, ws_rr
+from repro.core.processor import Processor, simulate
+from repro.frontend.predictors import AlwaysTakenPredictor
+from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.profiles import spec_trace
+from tests.conftest import ialu, load
+
+
+def run(config, trace):
+    processor = Processor(config, iter(trace),
+                          predictor=AlwaysTakenPredictor())
+    processor.run(measure=len(trace))
+    return processor.stats
+
+
+class TestFrontWidth:
+    def test_narrow_front_end_caps_ipc(self):
+        trace = [ialu(1 + i % 16) for i in range(3000)]
+        wide = run(baseline_rr_256(), trace)
+        narrow = run(baseline_rr_256(front_width=2), trace)
+        assert narrow.ipc <= 2.01
+        assert wide.ipc > narrow.ipc
+
+    def test_commit_width_caps_ipc(self):
+        trace = [ialu(1 + i % 16) for i in range(3000)]
+        narrow = run(baseline_rr_256(commit_width=1), trace)
+        assert narrow.ipc <= 1.01
+
+
+class TestWindowSizes:
+    def test_bigger_rob_helps_latency_tolerance(self):
+        from repro.config import MemoryConfig
+
+        # independent loads that miss: the window bounds the MLP.
+        # A wide refill bus keeps the L2 bandwidth out of the picture.
+        memory = MemoryConfig(l2_bytes_per_cycle=64)
+        trace = [load(1 + i % 16, 17, addr=0x100000 + 4096 * i)
+                 for i in range(600)]
+        small = run(baseline_rr_256(rob_size=16, memory=memory), trace)
+        large = run(baseline_rr_256(rob_size=224, memory=memory), trace)
+        assert large.ipc > small.ipc * 1.5
+
+    def test_tiny_cluster_window_throttles(self):
+        from repro.config import ClusterConfig
+
+        trace = [ialu(1 + i % 16) for i in range(2000)]
+        small = run(baseline_rr_256(
+            cluster=ClusterConfig(max_inflight=4)), trace)
+        large = run(baseline_rr_256(), trace)
+        assert large.ipc >= small.ipc
+
+
+class TestMemoryBandwidth:
+    def test_l2_refill_bus_throttles_miss_streams(self):
+        from repro.config import MemoryConfig
+
+        # every load misses to memory: refill bandwidth becomes visible
+        trace = [load(1 + i % 16, 17, addr=0x100000 + 64 * i)
+                 for i in range(400)]
+        slow_bus = run(baseline_rr_256(
+            memory=MemoryConfig(l2_bytes_per_cycle=1)), trace)
+        fast_bus = run(baseline_rr_256(
+            memory=MemoryConfig(l2_bytes_per_cycle=64)), trace)
+        assert fast_bus.cycles < slow_bus.cycles
+
+
+class TestRegisterPressure:
+    def test_fewer_registers_stall_renaming(self):
+        # long-latency producers hold registers: a small file stalls
+        trace = []
+        for i in range(800):
+            if i % 4 == 0:
+                trace.append(TraceInstruction(OpClass.FPDIV,
+                                              dest=80 + i % 24,
+                                              src1=104, src2=105))
+            else:
+                trace.append(ialu(1 + i % 32))
+        tight = run(baseline_rr_256(fp_physical_registers=40), trace)
+        roomy = run(baseline_rr_256(), trace)
+        assert tight.stall_no_register > roomy.stall_no_register
+
+    def test_ws_subset_pressure_vs_conventional(self):
+        """A WS machine with the same total register count stalls at
+        least as much as the conventional machine (section 2.4: WS needs
+        *more* registers to absorb per-subset unbalance)."""
+        trace = list(spec_trace("gzip", 8000))
+        conventional = run(baseline_rr_256(int_physical_registers=320,
+                                           fp_physical_registers=160),
+                           trace)
+        same_total = run(ws_rr(320, mispredict_penalty=17), trace)
+        assert same_total.stall_no_register \
+            >= conventional.stall_no_register
+
+
+class TestRecyclingPipelineDepth:
+    def test_deeper_recycling_pipeline_never_helps(self):
+        trace = list(spec_trace("gzip", 8000))
+        shallow = run(ws_rr(384, rename_impl=1,
+                            recycle_pipeline_depth=1), trace)
+        deep = run(ws_rr(384, rename_impl=1,
+                         recycle_pipeline_depth=8), trace)
+        assert deep.stall_no_register >= shallow.stall_no_register
+
+    def test_impl1_stalls_more_than_impl2_when_registers_are_tight(self):
+        """Implementation 1's in-flight recycled registers are
+        inaccessible - the paper's stated drawback."""
+        trace = list(spec_trace("gzip", 8000))
+        impl1 = run(ws_rr(384, rename_impl=1,
+                          recycle_pipeline_depth=6), trace)
+        impl2 = run(ws_rr(384, rename_impl=2), trace)
+        assert impl1.stall_no_register >= impl2.stall_no_register

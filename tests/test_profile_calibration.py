@@ -1,0 +1,93 @@
+"""Calibration lock-in: the measured character of each SPEC profile.
+
+These tests pin the measured properties the Figure 4/5 relations depend
+on, so an innocent-looking generator change that silently breaks the
+calibration fails here (fast) rather than in the figure benches (slow).
+Bands are deliberately loose - they encode each benchmark's *character*,
+not an exact operating point.
+"""
+
+import pytest
+
+from repro.analysis.dependence import dataflow_limits, operand_profile
+from repro.config import baseline_rr_256
+from repro.core.processor import simulate
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    get_profile,
+    spec_trace,
+)
+
+SLICE = 20_000
+WARM = 25_000
+
+
+def run_baseline(name: str):
+    return simulate(baseline_rr_256(),
+                    spec_trace(name, SLICE + WARM + 8192),
+                    measure=SLICE, warmup=WARM)
+
+
+class TestMispredictionBands:
+    @pytest.mark.parametrize("name", INTEGER_BENCHMARKS)
+    def test_integer_rates(self, name):
+        stats = run_baseline(name)
+        assert 0.02 < stats.misprediction_rate < 0.16, name
+
+    @pytest.mark.parametrize("name", FP_BENCHMARKS)
+    def test_fp_rates_are_low(self, name):
+        stats = run_baseline(name)
+        assert stats.misprediction_rate < 0.06, name
+
+
+class TestMemoryCharacter:
+    def test_mcf_is_memory_bound(self):
+        stats = run_baseline("mcf")
+        assert stats.l2_misses > 2_000
+        assert stats.ipc < 0.5
+
+    def test_facerec_is_cache_resident(self):
+        stats = run_baseline("facerec")
+        assert stats.l2_misses < 500
+
+    @pytest.mark.parametrize("name", ("swim", "mgrid", "applu"))
+    def test_stencils_stream_through_l2(self, name):
+        stats = run_baseline(name)
+        assert stats.l2_misses > 200, name
+
+
+class TestIpcLadder:
+    def test_ordering_of_extremes(self):
+        mcf = run_baseline("mcf").ipc
+        equake = run_baseline("equake").ipc
+        facerec = run_baseline("facerec").ipc
+        gzip = run_baseline("gzip").ipc
+        assert mcf < equake < facerec
+        assert gzip > 3 * mcf
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_every_benchmark_is_in_a_sane_band(self, name):
+        ipc = run_baseline(name).ipc
+        assert 0.05 < ipc < 4.0, name
+
+
+class TestDataflowCharacter:
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_ideal_ipc_far_exceeds_the_machine(self, name):
+        limits = dataflow_limits(spec_trace(name, 10_000))
+        if name in ("mcf",):  # serial pointer chasing caps the ideal
+            assert limits.ideal_ipc > 2.0
+        else:
+            assert limits.ideal_ipc > 6.0, name
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_allocation_freedom_bands(self, name):
+        profile = operand_profile(spec_trace(name, 10_000))
+        assert 1.2 < profile.mean_choices_rm <= 4.0, name
+        assert profile.mean_choices_rc >= profile.mean_choices_rm, name
+
+    @pytest.mark.parametrize("name", FP_BENCHMARKS)
+    def test_fp_profiles_use_invariant_operands(self, name):
+        assert get_profile(name).invariant_operand_prob >= 0.15

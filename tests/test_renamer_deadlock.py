@@ -1,0 +1,90 @@
+"""Tests for the section 2.3 renaming deadlock and its workarounds."""
+
+import pytest
+
+from repro.config import ws_rr
+from repro.errors import RenameDeadlockError
+from repro.isa.registers import isa_machine_config
+from repro.rename.renamer import INT_FILE, Renamer
+from tests.conftest import ialu
+
+
+def tight_config(policy: str, total: int = 96):
+    """WS machine with subsets smaller than the logical register count."""
+    config = isa_machine_config(ws_rr(512))  # 32 logical int registers
+    return config.with_changes(int_physical_registers=total,
+                               fp_physical_registers=total,
+                               deadlock_policy=policy)
+
+
+def saturate_pool(renamer, pool: int = 0, commits: bool = True) -> int:
+    """Rename distinct-dest ALU instructions into one pool until stalled."""
+    performed = 0
+    for logical in list(range(1, 32)) * 3:
+        if not renamer.can_rename(logical, pool):
+            break
+        _, _, pdest, pold = renamer.rename(ialu(logical), pool)
+        if commits:
+            renamer.retire_write(pdest)
+            renamer.commit_free(pold)
+        performed += 1
+    return performed
+
+
+class TestDetection:
+    def test_raise_policy_raises_on_saturation(self):
+        renamer = Renamer(tight_config("raise"))
+        with pytest.raises(RenameDeadlockError, match="fully architected"):
+            saturate_pool(renamer)
+
+    def test_no_deadlock_while_writes_are_outstanding(self):
+        """In-flight writes to the subset will free registers: no deadlock."""
+        renamer = Renamer(tight_config("raise"))
+        free = renamer.free_registers(INT_FILE)[0]
+        for logical in range(1, free + 1):
+            renamer.rename(ialu(logical), 0)  # never committed
+        # subset exhausted but outstanding writes exist -> just a stall
+        assert not renamer.can_rename(31, 0)
+
+    def test_sized_subsets_never_deadlock(self):
+        """The section 2.3 sizing rule: subsets >= logical registers."""
+        config = isa_machine_config(ws_rr(512))  # subsets of 128 >= 32
+        renamer = Renamer(config)
+        count = saturate_pool(renamer)
+        assert count == 93  # never stalled
+
+
+class TestMovesWorkaround:
+    def test_moves_break_the_deadlock(self):
+        renamer = Renamer(tight_config("moves"))
+        count = saturate_pool(renamer)
+        assert count == 93  # the whole stream renamed
+        assert renamer.deadlock_moves > 0
+
+    def test_moves_preserve_mapping_consistency(self):
+        renamer = Renamer(tight_config("moves"))
+        saturate_pool(renamer)
+        # every logical register maps to a unique physical register
+        mapping = [renamer.lookup_global(logical) for logical in range(32)]
+        assert len(set(mapping)) == 32
+
+    def test_moves_sustain_progress_with_minimal_slack(self):
+        # 36 physical = 9 per subset against 32 logical registers: only
+        # 4 registers of slack in the whole file.  The moves workaround
+        # must still sustain forward progress indefinitely.
+        config = isa_machine_config(ws_rr(512)).with_changes(
+            int_physical_registers=36, fp_physical_registers=36,
+            deadlock_policy="moves")
+        renamer = Renamer(config)
+        performed = 0
+        for logical in list(range(1, 32)) * 4:
+            if renamer.can_rename(logical, 0):
+                _, _, pdest, pold = renamer.rename(ialu(logical), 0)
+                renamer.retire_write(pdest)
+                renamer.commit_free(pold)
+                performed += 1
+        assert performed == 124
+        assert renamer.deadlock_moves > 0
+        # mapping stays consistent under heavy rebalancing
+        mapping = [renamer.lookup_global(logical) for logical in range(32)]
+        assert len(set(mapping)) == 32

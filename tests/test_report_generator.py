@@ -1,0 +1,40 @@
+"""Tests for the EXPERIMENTS.md generator (repro.experiments.report)."""
+
+import os
+
+from repro.experiments.report import ReportInputs, generate, main
+
+TINY = ReportInputs(measure=1500, warmup=800)
+
+
+class TestGeneration:
+    def test_contains_all_sections(self):
+        text = generate(TINY)
+        assert "# EXPERIMENTS" in text
+        assert "## Table 1" in text
+        assert "## Figure 4" in text
+        assert "## Figure 5" in text
+        assert "## Ablations" in text
+
+    def test_table1_rows_embed_paper_values(self):
+        text = generate(TINY)
+        assert "1120" in text   # noWS-M bit area (matches, no italics)
+        assert "| nJ/cycle |" in text
+
+    def test_figure4_rows_cover_all_benchmarks(self):
+        text = generate(TINY)
+        for name in ("gzip", "mcf", "wupwise", "facerec"):
+            assert f"| {name} |" in text
+
+    def test_records_slice_parameters(self):
+        text = generate(TINY)
+        assert "measure=1,500" in text
+
+    def test_main_writes_the_file(self, tmp_path):
+        out = str(tmp_path / "EXPERIMENTS.md")
+        code = main(["--measure", "1200", "--warmup", "600",
+                     "--out", out])
+        assert code == 0
+        assert os.path.exists(out)
+        with open(out) as handle:
+            assert "# EXPERIMENTS" in handle.read()

@@ -1,0 +1,71 @@
+"""Tests for the sensitivity sweeps (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.config import two_cluster_4way
+from repro.experiments.sensitivity import (
+    format_sweep,
+    memory_sweep,
+    penalty_sweep,
+    predictor_sweep,
+    width_sweep,
+)
+
+TINY = dict(measure=3000, warmup=2000)
+
+
+class TestTwoClusterConfig:
+    def test_validates(self):
+        config = two_cluster_4way()
+        config.validate()
+        assert config.num_clusters == 2
+        assert config.front_width == 4
+        assert config.int_physical_registers == 128
+
+    def test_overrides(self):
+        assert two_cluster_4way(rob_size=64).rob_size == 64
+
+
+class TestPenaltySweep:
+    def test_higher_penalty_costs_ipc(self):
+        result = penalty_sweep(penalties=(5, 25), **TINY)
+        assert result.ipc["penalty-5"]["base"] \
+            > result.ipc["penalty-25"]["base"]
+
+    def test_both_configs_present(self):
+        result = penalty_sweep(penalties=(17,), **TINY)
+        assert set(result.ipc["penalty-17"]) == {"base", "wsrs"}
+
+
+class TestMemorySweep:
+    def test_longer_memory_latency_costs_ipc(self):
+        result = memory_sweep(benchmark="mcf",
+                              miss_penalties=(20, 160), **TINY)
+        assert result.ipc["mem-20"]["base"] \
+            >= result.ipc["mem-160"]["base"]
+
+
+class TestWidthSweep:
+    def test_eight_way_beats_four_way(self):
+        result = width_sweep(measure=8000, warmup=8000)
+        row = result.ipc["width"]
+        assert row["conventional 8-way"] > row["noWS-2 (4-way)"]
+
+    def test_wsrs_performs_in_the_8way_range(self):
+        result = width_sweep(measure=8000, warmup=8000)
+        row = result.ipc["width"]
+        assert row["WSRS 8-way"] > row["noWS-2 (4-way)"]
+        assert row["WSRS 8-way"] > row["conventional 8-way"] * 0.9
+
+
+class TestPredictorSweep:
+    def test_gskew_beats_always_taken(self):
+        result = predictor_sweep(kinds=("always-taken", "2bcgskew"),
+                                 **TINY)
+        assert result.ipc["2bcgskew"]["base"] \
+            > result.ipc["always-taken"]["base"]
+
+    def test_format(self):
+        result = predictor_sweep(kinds=("always-taken",), **TINY)
+        text = format_sweep(result)
+        assert "predictor" in text and "base=" in text

@@ -1,0 +1,112 @@
+"""Tests for trace persistence (repro.trace.serialization)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.profiles import spec_trace
+from repro.trace.serialization import (
+    HEADER,
+    dumps_instruction,
+    load_trace,
+    loads_instruction,
+    roundtrip,
+    save_trace,
+)
+
+
+def instructions_equal(a: TraceInstruction, b: TraceInstruction) -> bool:
+    return (a.op == b.op and a.dest == b.dest and a.src1 == b.src1
+            and a.src2 == b.src2 and a.pc == b.pc and a.taken == b.taken
+            and a.addr == b.addr and a.commutative == b.commutative)
+
+
+class TestSingleRecord:
+    def test_roundtrip_full_record(self):
+        inst = TraceInstruction(OpClass.LOAD, dest=5, src1=2, pc=0x40,
+                                addr=0x1234)
+        assert instructions_equal(inst,
+                                  loads_instruction(dumps_instruction(inst)))
+
+    def test_none_fields_encode_as_empty(self):
+        inst = TraceInstruction(OpClass.BRANCH, src1=7, taken=True)
+        line = dumps_instruction(inst)
+        assert line.startswith("BRANCH,,7,,")
+        parsed = loads_instruction(line)
+        assert parsed.dest is None and parsed.src2 is None
+        assert parsed.taken
+
+    def test_bad_field_count(self):
+        with pytest.raises(TraceError, match="8 fields"):
+            loads_instruction("IALU,1,2", lineno=3)
+
+    def test_unknown_op(self):
+        with pytest.raises(TraceError, match="unknown op"):
+            loads_instruction("VLIW,1,,,0,0,0,0")
+
+    def test_garbage_register(self):
+        with pytest.raises(TraceError):
+            loads_instruction("IALU,x,,,0,0,0,0", lineno=9)
+
+
+class TestStreams:
+    def test_save_and_load_via_buffer(self):
+        trace = list(spec_trace("gzip", 500))
+        buffer = io.StringIO()
+        written = save_trace(iter(trace), buffer)
+        assert written == 500
+        buffer.seek(0)
+        restored = list(load_trace(buffer))
+        assert len(restored) == 500
+        assert all(instructions_equal(a, b)
+                   for a, b in zip(trace, restored))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        trace = list(spec_trace("mcf", 200))
+        save_trace(iter(trace), path)
+        restored = list(load_trace(path))
+        assert len(restored) == 200
+
+    def test_header_is_validated(self):
+        buffer = io.StringIO("bogus\nIALU,1,,,0,0,0,0\n")
+        with pytest.raises(TraceError, match="bad trace header"):
+            list(load_trace(buffer))
+
+    def test_blank_lines_are_skipped(self):
+        buffer = io.StringIO(HEADER + "\nIALU,1,,,0,0,0,0\n\n")
+        assert len(list(load_trace(buffer))) == 1
+
+    def test_simulation_on_restored_trace_matches(self):
+        from repro.config import baseline_rr_256
+        from repro.core.processor import simulate
+
+        trace = list(spec_trace("gzip", 3000))
+        direct = simulate(baseline_rr_256(), iter(trace), measure=3000)
+        restored = simulate(baseline_rr_256(), roundtrip(iter(trace)),
+                            measure=3000)
+        assert direct.cycles == restored.cycles
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    op=st.sampled_from(list(OpClass)),
+    dest=st.one_of(st.none(), st.integers(0, 111)),
+    src1=st.one_of(st.none(), st.integers(0, 111)),
+    src2=st.one_of(st.none(), st.integers(0, 111)),
+    pc=st.integers(0, 1 << 32),
+    taken=st.booleans(),
+    addr=st.integers(0, 1 << 40),
+    commutative=st.booleans(),
+)
+def test_any_record_roundtrips(op, dest, src1, src2, pc, taken, addr,
+                               commutative):
+    inst = TraceInstruction(op, dest=dest, src1=src1, src2=src2, pc=pc,
+                            taken=taken, addr=addr,
+                            commutative=commutative)
+    assert instructions_equal(inst,
+                              loads_instruction(dumps_instruction(inst)))

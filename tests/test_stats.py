@@ -1,0 +1,116 @@
+"""Tests for statistics accounting (repro.core.stats + repro.metrics)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    UNBALANCE_GROUP,
+    UNBALANCE_HIGH,
+    UNBALANCE_LOW,
+    SimulationStats,
+)
+from repro.metrics.unbalance import (
+    group_counts,
+    group_is_unbalanced,
+    unbalancing_degree,
+)
+
+
+class TestUnbalanceMetric:
+    def test_paper_parameters(self):
+        assert UNBALANCE_GROUP == 128
+        assert UNBALANCE_LOW == 24
+        assert UNBALANCE_HIGH == 40
+
+    def test_perfect_balance_is_zero(self):
+        sequence = list(range(4)) * (128 // 4) * 5  # 32 each per group
+        assert unbalancing_degree(sequence) == 0.0
+
+    def test_concentration_is_unbalanced(self):
+        sequence = [0] * 128  # one cluster takes everything
+        assert unbalancing_degree(sequence) == 100.0
+
+    def test_boundary_values(self):
+        # exactly 24 and 40 are balanced; 23 and 41 are not
+        assert not group_is_unbalanced([24, 40, 32, 32])
+        assert group_is_unbalanced([23, 41, 32, 32])
+        assert group_is_unbalanced([23, 40, 33, 32])
+        assert group_is_unbalanced([24, 41, 31, 32])
+
+    def test_partial_trailing_group_is_ignored(self):
+        sequence = [0] * 128 + [1] * 64
+        assert unbalancing_degree(sequence) == 100.0
+
+    def test_empty_sequence(self):
+        assert unbalancing_degree([]) == 0.0
+
+    def test_group_counts(self):
+        sequence = [0] * 64 + [1] * 64 + [2] * 128
+        counts = group_counts(sequence)
+        assert counts == [[64, 64, 0, 0], [0, 0, 128, 0]]
+
+
+class TestSimulationStats:
+    def test_ipc(self):
+        stats = SimulationStats(4)
+        stats.cycles = 50
+        stats.committed = 100
+        assert stats.ipc == 2.0
+
+    def test_ipc_with_zero_cycles(self):
+        assert SimulationStats(4).ipc == 0.0
+
+    def test_misprediction_rate(self):
+        stats = SimulationStats(4)
+        stats.branches = 10
+        stats.mispredictions = 3
+        assert stats.misprediction_rate == 0.3
+
+    def test_workload_shares(self):
+        stats = SimulationStats(4)
+        for cluster in (0, 0, 1, 2):
+            stats.record_allocation(cluster, swapped=False)
+        assert stats.workload_shares == [0.5, 0.25, 0.25, 0.0]
+
+    def test_swapped_forms_counter(self):
+        stats = SimulationStats(4)
+        stats.record_allocation(0, swapped=True)
+        stats.record_allocation(1, swapped=False)
+        assert stats.swapped_forms == 1
+
+    def test_reset_measurement_clears_group_state(self):
+        stats = SimulationStats(4)
+        for _ in range(100):
+            stats.record_allocation(0, False)
+        stats.reset_measurement()
+        assert stats.groups_total == 0
+        for _ in range(128):
+            stats.record_allocation(0, False)
+        assert stats.groups_total == 1
+
+    def test_summary_contains_key_metrics(self):
+        stats = SimulationStats(4)
+        summary = stats.summary()
+        for key in ("ipc", "cycles", "committed", "misprediction_rate",
+                    "unbalancing_degree", "stall_rob_full"):
+            assert key in summary
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=1000))
+    def test_incremental_matches_standalone(self, sequence):
+        """The stats' incremental tracker must agree with the reference
+        implementation in repro.metrics.unbalance."""
+        stats = SimulationStats(4)
+        for cluster in sequence:
+            stats.record_allocation(cluster, swapped=False)
+        assert stats.unbalancing_degree == unbalancing_degree(sequence)
+
+    def test_incremental_matches_standalone_on_random_skew(self):
+        rng = random.Random(9)
+        sequence = [min(3, int(rng.expovariate(1.0))) for _ in range(4096)]
+        stats = SimulationStats(4)
+        for cluster in sequence:
+            stats.record_allocation(cluster, False)
+        assert stats.unbalancing_degree == unbalancing_degree(sequence)

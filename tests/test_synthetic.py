@@ -1,0 +1,169 @@
+"""Tests for the synthetic workload generator (repro.trace.synthetic)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.model import OpClass, validate_trace
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    PROFILES,
+    benchmark_names,
+    get_profile,
+    spec_trace,
+)
+from repro.trace.synthetic import (
+    NUM_FP_LOGICAL,
+    NUM_INT_LOGICAL,
+    SyntheticTraceGenerator,
+    WorkloadProfile,
+)
+
+
+class TestGeneratorContract:
+    def test_exact_instruction_count(self):
+        for count in (0, 1, 100, 4096):
+            trace = list(spec_trace("gzip", count))
+            assert len(trace) == count
+
+    def test_registers_stay_in_range(self):
+        trace = spec_trace("wupwise", 5000)
+        consumed = list(validate_trace(
+            trace, NUM_INT_LOGICAL + NUM_FP_LOGICAL))
+        assert len(consumed) == 5000
+
+    def test_determinism(self):
+        def fingerprint(seed):
+            return [(t.op, t.dest, t.src1, t.src2, t.addr, t.taken)
+                    for t in spec_trace("gcc", 2000, seed=seed)]
+
+        assert fingerprint(1) == fingerprint(1)
+        assert fingerprint(1) != fingerprint(2)
+
+    def test_branch_pcs_are_stable_sites(self):
+        trace = list(spec_trace("gzip", 20_000))
+        branch_pcs = {t.pc for t in trace if t.is_branch}
+        # a static program skeleton: bounded number of branch sites
+        assert 5 <= len(branch_pcs) <= 64
+
+    def test_r0_is_never_a_destination(self):
+        assert all(t.dest != 0 for t in spec_trace("vpr", 5000))
+
+
+class TestMixControl:
+    def test_load_fraction_tracks_the_profile(self):
+        profile = get_profile("gzip")
+        trace = list(spec_trace("gzip", 30_000))
+        loads = sum(t.is_load for t in trace) / len(trace)
+        assert abs(loads - profile.frac_load) < 0.05
+
+    def test_branch_fraction_tracks_the_profile(self):
+        profile = get_profile("gcc")
+        trace = list(spec_trace("gcc", 30_000))
+        branches = sum(t.is_branch for t in trace) / len(trace)
+        assert abs(branches - profile.frac_branch) < 0.05
+
+    def test_fp_benchmarks_contain_fp_work(self):
+        for name in FP_BENCHMARKS:
+            trace = list(spec_trace(name, 5000))
+            fp_ops = sum(t.op in (OpClass.FPADD, OpClass.FPMUL,
+                                  OpClass.FPDIV) for t in trace)
+            assert fp_ops / len(trace) > 0.15, name
+
+    def test_integer_benchmarks_contain_no_fp_arithmetic(self):
+        for name in INTEGER_BENCHMARKS:
+            trace = spec_trace(name, 5000)
+            assert not any(t.op in (OpClass.FPADD, OpClass.FPMUL,
+                                    OpClass.FPDIV) for t in trace), name
+
+    def test_branch_bias_shows_in_outcomes(self):
+        trace = list(spec_trace("facerec", 20_000))
+        branches = [t for t in trace if t.is_branch]
+        taken_rate = sum(t.taken for t in branches) / len(branches)
+        assert taken_rate > 0.8  # highly biased FP loop branches
+
+
+class TestDataflowShape:
+    def test_monadic_and_dyadic_instructions_both_present(self):
+        trace = list(spec_trace("gzip", 10_000))
+        alus = [t for t in trace if t.op == OpClass.IALU]
+        monadic = sum(t.is_monadic for t in alus)
+        dyadic = sum(t.is_dyadic for t in alus)
+        assert monadic > 0 and dyadic > 0
+
+    def test_commutative_flags_only_on_dyadic(self):
+        for t in spec_trace("crafty", 10_000):
+            if t.commutative:
+                assert t.is_dyadic
+
+    def test_memory_addresses_fall_in_the_working_set(self):
+        profile = get_profile("gzip")
+        addresses = [t.addr for t in spec_trace("gzip", 30_000)
+                     if t.is_memory]
+        span = max(addresses) - min(addresses)
+        assert span <= profile.ws_bytes + 0x10000
+
+    def test_pointer_chase_produces_self_dependent_loads(self):
+        trace = list(spec_trace("mcf", 20_000))
+        chasing = [t for t in trace
+                   if t.is_load and t.dest == t.src1]
+        assert len(chasing) > 50
+
+
+class TestProfileValidation:
+    def test_all_builtin_profiles_validate(self):
+        for profile in PROFILES.values():
+            profile.validate()
+
+    def test_rejects_overfull_mix(self):
+        profile = WorkloadProfile(name="bad", kind="int", frac_load=0.6,
+                                  frac_store=0.3, frac_branch=0.2)
+        with pytest.raises(TraceError, match="mix sums"):
+            profile.validate()
+
+    def test_rejects_out_of_range_fraction(self):
+        profile = WorkloadProfile(name="bad", kind="int",
+                                  dep_locality=1.5)
+        with pytest.raises(TraceError):
+            profile.validate()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceError, match="bad kind"):
+            WorkloadProfile(name="bad", kind="vector").validate()
+
+
+class TestProfileRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 12
+        assert len(INTEGER_BENCHMARKS) == 5
+        assert len(FP_BENCHMARKS) == 7
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(TraceError, match="unknown benchmark"):
+            get_profile("perlbmk")
+
+    def test_benchmark_names_suites(self):
+        assert benchmark_names("int") == list(INTEGER_BENCHMARKS)
+        assert benchmark_names("fp") == list(FP_BENCHMARKS)
+        assert benchmark_names("all") == list(ALL_BENCHMARKS)
+        with pytest.raises(TraceError):
+            benchmark_names("spec2006")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(ALL_BENCHMARKS),
+    seed=st.integers(0, 1000),
+    count=st.integers(1, 600),
+)
+def test_any_profile_seed_count_yields_a_valid_trace(name, seed, count):
+    generator = SyntheticTraceGenerator(get_profile(name), seed)
+    trace = list(generator.generate(count))
+    assert len(trace) == count
+    total = NUM_INT_LOGICAL + NUM_FP_LOGICAL
+    assert len(list(validate_trace(iter(trace), total))) == count

@@ -1,0 +1,110 @@
+"""Tests for the trace instruction model (repro.trace.model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.model import (
+    FP_CLASSES,
+    INT_CLASSES,
+    MEMORY_CLASSES,
+    OpClass,
+    TraceInstruction,
+    validate_trace,
+)
+
+
+class TestAdicity:
+    def test_dyadic(self):
+        inst = TraceInstruction(OpClass.IALU, dest=3, src1=1, src2=2)
+        assert inst.is_dyadic
+        assert not inst.is_monadic
+        assert not inst.is_noadic
+        assert inst.num_register_operands == 2
+        assert inst.register_operands == [1, 2]
+
+    def test_monadic_first_slot(self):
+        inst = TraceInstruction(OpClass.IALU, dest=3, src1=1)
+        assert inst.is_monadic
+        assert inst.register_operands == [1]
+
+    def test_monadic_second_slot(self):
+        inst = TraceInstruction(OpClass.STORE, src2=5)
+        assert inst.is_monadic
+        assert inst.register_operands == [5]
+
+    def test_noadic(self):
+        inst = TraceInstruction(OpClass.IALU, dest=3)
+        assert inst.is_noadic
+        assert inst.num_register_operands == 0
+
+
+class TestKinds:
+    def test_branch(self):
+        inst = TraceInstruction(OpClass.BRANCH, src1=1, taken=True)
+        assert inst.is_branch
+        assert not inst.has_dest
+
+    def test_load_store(self):
+        load = TraceInstruction(OpClass.LOAD, dest=1, src1=2, addr=64)
+        store = TraceInstruction(OpClass.STORE, src1=2, src2=1, addr=64)
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_class_partitions_are_disjoint_and_complete(self):
+        everything = MEMORY_CLASSES | FP_CLASSES | INT_CLASSES
+        assert everything == set(OpClass)
+        assert not (MEMORY_CLASSES & FP_CLASSES)
+        assert not (MEMORY_CLASSES & INT_CLASSES)
+        assert not (FP_CLASSES & INT_CLASSES)
+
+
+class TestSwapped:
+    def test_swapped_exchanges_sources_only(self):
+        inst = TraceInstruction(OpClass.IALU, dest=3, src1=1, src2=2,
+                                pc=0x40, commutative=True)
+        swapped = inst.swapped()
+        assert (swapped.src1, swapped.src2) == (2, 1)
+        assert swapped.dest == 3
+        assert swapped.pc == 0x40
+        assert swapped.commutative
+
+    def test_double_swap_is_identity(self):
+        inst = TraceInstruction(OpClass.FPADD, dest=9, src1=7, src2=8)
+        twice = inst.swapped().swapped()
+        assert (twice.src1, twice.src2) == (inst.src1, inst.src2)
+
+
+class TestValidateTrace:
+    def test_accepts_valid(self):
+        trace = [TraceInstruction(OpClass.IALU, dest=1, src1=0)]
+        assert len(list(validate_trace(trace, 32))) == 1
+
+    def test_rejects_out_of_range_register(self):
+        trace = [TraceInstruction(OpClass.IALU, dest=40, src1=0)]
+        with pytest.raises(TraceError, match="dest=40"):
+            list(validate_trace(trace, 32))
+
+    def test_rejects_negative_address(self):
+        trace = [TraceInstruction(OpClass.LOAD, dest=1, src1=0, addr=-8)]
+        with pytest.raises(TraceError, match="negative address"):
+            list(validate_trace(trace, 32))
+
+    def test_reports_position(self):
+        trace = [TraceInstruction(OpClass.IALU, dest=1),
+                 TraceInstruction(OpClass.IALU, src1=99)]
+        with pytest.raises(TraceError, match="instruction 1"):
+            list(validate_trace(trace, 32))
+
+
+@given(
+    dest=st.one_of(st.none(), st.integers(0, 31)),
+    src1=st.one_of(st.none(), st.integers(0, 31)),
+    src2=st.one_of(st.none(), st.integers(0, 31)),
+)
+def test_operand_counts_are_consistent(dest, src1, src2):
+    inst = TraceInstruction(OpClass.IALU, dest=dest, src1=src1, src2=src2)
+    assert inst.num_register_operands == len(inst.register_operands)
+    assert inst.is_dyadic + inst.is_monadic + inst.is_noadic == 1
+    assert inst.has_dest == (dest is not None)

@@ -1,0 +1,48 @@
+"""Tests for the in-flight micro-op record (repro.core.uop)."""
+
+from repro.core.uop import UNKNOWN_CYCLE, InFlightUop
+from repro.trace.model import OpClass, TraceInstruction
+
+
+def make_uop(swapped=False, psrc1=10, psrc2=11):
+    inst = TraceInstruction(OpClass.IALU, dest=1, src1=2, src2=3)
+    return InFlightUop(0, inst, cluster=1, swapped=swapped, psrc1=psrc1,
+                       psrc2=psrc2, pdest=20, pold=21, dispatch_cycle=5)
+
+
+class TestPorts:
+    def test_unswapped_port_assignment(self):
+        uop = make_uop(swapped=False)
+        assert uop.first_port_operand == 10
+        assert uop.second_port_operand == 11
+
+    def test_swapped_port_assignment(self):
+        uop = make_uop(swapped=True)
+        assert uop.first_port_operand == 11
+        assert uop.second_port_operand == 10
+
+    def test_monadic_swapped_moves_operand_to_second_port(self):
+        inst = TraceInstruction(OpClass.IALU, dest=1, src1=2)
+        uop = InFlightUop(0, inst, 0, True, psrc1=9, psrc2=None,
+                          pdest=None, pold=None, dispatch_cycle=0)
+        assert uop.first_port_operand is None
+        assert uop.second_port_operand == 9
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        uop = make_uop()
+        assert not uop.issued
+        assert uop.result_cycle == UNKNOWN_CYCLE
+        assert uop.earliest_issue == 6  # dispatch + 1
+
+    def test_completed_by(self):
+        uop = make_uop()
+        uop.result_cycle = 12
+        assert not uop.completed_by(11)
+        assert uop.completed_by(12)
+
+    def test_issued_flag(self):
+        uop = make_uop()
+        uop.issue_cycle = 9
+        assert uop.issued
