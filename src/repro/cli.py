@@ -12,6 +12,13 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs sensitivity               # penalty/memory/width/predictor sweeps
     wsrs microbench                # run the assembly kernels
     wsrs savetrace gzip out.trace  # freeze a workload to a file
+    wsrs throughput                # sweep throughput -> BENCH_throughput.json
+
+Matrix-shaped commands (figure4, figure5, ablations, sensitivity,
+throughput) accept ``--workers N`` to fan the independent cells out over
+a process pool (default: every core).  ``--workers 1`` forces the
+strictly serial in-process path - per-cell results are bit-identical,
+so the knob only trades wall-clock for debuggability.
 """
 
 from __future__ import annotations
@@ -24,6 +31,14 @@ from repro.config import config_by_name, figure4_configs
 from repro.trace.profiles import ALL_BENCHMARKS, PROFILES
 
 
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {value}")
+    return value
+
+
 def _add_slice_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--measure", type=int, default=100_000,
                         help="measured slice length in instructions")
@@ -34,6 +49,10 @@ def _add_slice_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         metavar="NAME",
                         help="subset of benchmarks (default: all twelve)")
+    parser.add_argument("--workers", type=_worker_count, default=None,
+                        metavar="N",
+                        help="parallel simulation processes (default: all "
+                             "cores; 1 = serial determinism-debug path)")
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -47,7 +66,8 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     from repro.experiments import figure4
 
     report = figure4.run(measure=args.measure, warmup=args.warmup,
-                         benchmarks=args.benchmarks, seed=args.seed)
+                         benchmarks=args.benchmarks, seed=args.seed,
+                         workers=args.workers)
     return 0 if report.ok else 1
 
 
@@ -55,7 +75,8 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     from repro.experiments import figure5
 
     report = figure5.run(measure=args.measure, warmup=args.warmup,
-                         benchmarks=args.benchmarks, seed=args.seed)
+                         benchmarks=args.benchmarks, seed=args.seed,
+                         workers=args.workers)
     return 0 if report.ok else 1
 
 
@@ -63,7 +84,8 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
     benchmarks = args.benchmarks or list(ablations.DEFAULT_BENCHMARKS)
-    ablations.run_all(benchmarks, measure=args.measure, warmup=args.warmup)
+    ablations.run_all(benchmarks, measure=args.measure, warmup=args.warmup,
+                      workers=args.workers)
     return 0
 
 
@@ -132,7 +154,16 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
     benchmark = (args.benchmarks or ["gzip"])[0]
     sensitivity.run_all(benchmark, measure=args.measure,
-                        warmup=args.warmup)
+                        warmup=args.warmup, workers=args.workers)
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.experiments import throughput
+
+    throughput.run(benchmarks=args.benchmarks, measure=args.measure,
+                   warmup=args.warmup, seed=args.seed,
+                   workers=args.workers, out=args.out)
     return 0
 
 
@@ -215,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     pv = sub.add_parser("sensitivity", help="sensitivity sweeps")
     _add_slice_arguments(pv)
     pv.set_defaults(func=_cmd_sensitivity)
+
+    pp = sub.add_parser(
+        "throughput",
+        help="measure sweep throughput, write BENCH_throughput.json")
+    _add_slice_arguments(pp)
+    pp.set_defaults(measure=20_000, warmup=20_000)
+    pp.add_argument("--out", default="BENCH_throughput.json",
+                    help="JSON record path")
+    pp.set_defaults(func=_cmd_throughput)
 
     pm = sub.add_parser("microbench", help="run the assembly kernels")
     pm.add_argument("--config", default="RR 256",

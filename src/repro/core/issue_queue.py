@@ -107,10 +107,6 @@ class ClusterScheduler:
             heapq.heappush(ready, entry)
         return picked
 
-    def reinsert_ready(self, uop: InFlightUop) -> None:
-        """Return a vetoed micro-op to the ready heap (same age)."""
-        heapq.heappush(self._ready, (uop.seq, uop))
-
     # -- occupancy ----------------------------------------------------------
 
     @property

@@ -107,6 +107,12 @@ class Processor:
         self._rob: Deque[InFlightUop] = deque()
         self.cycle = 0
         self._seq = 0
+        # Deadlock-move accounting: front-end slots still owed by moves
+        # that exceeded an earlier cycle's budget, and the renamer's
+        # cumulative move count at the last measurement reset (so the
+        # measured slice reports only its own moves).
+        self._move_debt = 0
+        self._measured_moves_base = 0
         self._rename_blocked_until = 0
         self._waiting_branch: Optional[InFlightUop] = None
         self._pending_decision = None
@@ -137,6 +143,7 @@ class Processor:
         if warmup:
             self._run_until(self.stats.committed + warmup)
             self.stats.reset_measurement()
+            self._measured_moves_base = self.renamer.deadlock_moves
         self._run_until(self.stats.committed + measure)
         return self.stats
 
@@ -314,6 +321,16 @@ class Processor:
         cap = config.cluster.max_inflight
         budget = config.front_width
 
+        # Deadlock-breaking moves that overflowed an earlier cycle's
+        # budget still owe front-end slots; settle the debt first.
+        if self._move_debt:
+            paid = min(budget, self._move_debt)
+            self._move_debt -= paid
+            budget -= paid
+            stats.stall_deadlock_moves += paid
+            if not budget:
+                return
+
         while budget:
             if self._waiting_branch is not None \
                     or cycle < self._rename_blocked_until:
@@ -342,14 +359,22 @@ class Processor:
             if not renamer.can_rename(inst.dest, cluster):
                 stats.stall_no_register += budget
                 return
-            # Deadlock-breaking moves consume front-end slots.
-            budget -= min(budget - 1,
-                          renamer.deadlock_moves - moves_before)
+            # Deadlock-breaking moves consume front-end slots.  Charge as
+            # many as this cycle can absorb (leaving one slot for the
+            # instruction that triggered them); the excess carries into
+            # the next cycle's budget as debt.
+            moves = renamer.deadlock_moves - moves_before
+            if moves:
+                charged = min(budget - 1, moves)
+                budget -= charged
+                self._move_debt += moves - charged
+                stats.stall_deadlock_moves += charged
 
             self.frontend.pop()
             self._pending_decision = None
             psrc1, psrc2, pdest, pold = renamer.rename(inst, cluster)
-            stats.deadlock_moves = renamer.deadlock_moves
+            stats.deadlock_moves = (renamer.deadlock_moves
+                                    - self._measured_moves_base)
 
             seq = self._seq
             self._seq = seq + 1

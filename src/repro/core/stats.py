@@ -68,6 +68,13 @@ class SimulationStats:
         self.stall_cluster_full = 0
         self.stall_no_register = 0
         self.stall_branch_penalty = 0
+        # Front-end slots consumed by deadlock-breaking register moves
+        # (including slots charged in a later cycle when the moves
+        # exceeded the cycle's remaining budget).
+        self.stall_deadlock_moves = 0
+        # Moves injected during the measured slice only: the processor
+        # reports the delta against a snapshot taken at measurement
+        # reset, so warm-up moves never leak into the measured counters.
         self.deadlock_moves = 0
 
         self.cluster_allocated = [0] * self.num_clusters
@@ -150,6 +157,8 @@ class SimulationStats:
             "stall_cluster_full": self.stall_cluster_full,
             "stall_no_register": self.stall_no_register,
             "stall_branch_penalty": self.stall_branch_penalty,
+            "stall_deadlock_moves": self.stall_deadlock_moves,
+            "deadlock_moves": self.deadlock_moves,
             "store_forwards": self.store_forwards,
             "bypass_locality": self.bypass_locality,
             "l1_misses": self.l1_misses,

@@ -7,7 +7,8 @@ from repro.experiments import (
     report,
     sensitivity,
     table1,
+    throughput,
 )
 
 __all__ = ["ablations", "figure4", "figure5", "report", "sensitivity",
-           "table1"]
+           "table1", "throughput"]

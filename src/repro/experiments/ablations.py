@@ -29,7 +29,7 @@ from repro.config import (
     wsrs_rc,
     wsrs_rm,
 )
-from repro.experiments.runner import RunSpec, execute
+from repro.experiments.runner import RunSpec, execute_many
 
 DEFAULT_BENCHMARKS = ("gzip", "wupwise")
 ABLATION_MEASURE = 60_000
@@ -46,43 +46,42 @@ class AblationResult:
     unbalance: Dict[str, Dict[str, float]]
 
 
-def _run(config: MachineConfig, benchmark: str, measure: int,
-         warmup: int) -> Tuple[float, float]:
-    result = execute(RunSpec(config=config, benchmark=benchmark,
-                             measure=measure, warmup=warmup))
-    return result.ipc, result.unbalancing_degree
-
-
 def _sweep(name: str, variants: Sequence[Tuple[str, MachineConfig]],
-           benchmarks: Sequence[str], measure: int,
-           warmup: int) -> AblationResult:
-    ipc: Dict[str, Dict[str, float]] = {}
-    unbalance: Dict[str, Dict[str, float]] = {}
-    for benchmark in benchmarks:
-        ipc[benchmark] = {}
-        unbalance[benchmark] = {}
-        for label, config in variants:
-            value, degree = _run(config, benchmark, measure, warmup)
-            ipc[benchmark][label] = value
-            unbalance[benchmark][label] = degree
+           benchmarks: Sequence[str], measure: int, warmup: int,
+           workers: int | None = None) -> AblationResult:
+    cells = [(benchmark, label, config)
+             for benchmark in benchmarks
+             for label, config in variants]
+    specs = [RunSpec(config=config, benchmark=benchmark,
+                     measure=measure, warmup=warmup)
+             for benchmark, _, config in cells]
+    results = execute_many(specs, workers=workers)
+    ipc: Dict[str, Dict[str, float]] = {b: {} for b in benchmarks}
+    unbalance: Dict[str, Dict[str, float]] = {b: {} for b in benchmarks}
+    for (benchmark, label, _), result in zip(cells, results):
+        ipc[benchmark][label] = result.ipc
+        unbalance[benchmark][label] = result.unbalancing_degree
     return AblationResult(name=name, ipc=ipc, unbalance=unbalance)
 
 
 def register_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                    totals: Sequence[int] = (320, 384, 512, 640),
                    measure: int = ABLATION_MEASURE,
-                   warmup: int = ABLATION_WARMUP) -> AblationResult:
+                   warmup: int = ABLATION_WARMUP,
+                   workers: int | None = None) -> AblationResult:
     """A1: WS and WSRS IPC across physical register totals."""
     variants: List[Tuple[str, MachineConfig]] = []
     for total in totals:
         variants.append((f"WS-{total}", ws_rr(total)))
         variants.append((f"WSRS-RC-{total}", wsrs_rc(total)))
-    return _sweep("register_sweep", variants, benchmarks, measure, warmup)
+    return _sweep("register_sweep", variants, benchmarks, measure,
+                  warmup, workers)
 
 
 def fastforward_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                       measure: int = ABLATION_MEASURE,
-                      warmup: int = ABLATION_WARMUP) -> AblationResult:
+                      warmup: int = ABLATION_WARMUP,
+                      workers: int | None = None) -> AblationResult:
     """A2: the three fast-forwarding policies on base and WSRS machines."""
     variants: List[Tuple[str, MachineConfig]] = []
     for policy in (FASTFORWARD_INTRA, FASTFORWARD_PAIRS,
@@ -91,12 +90,14 @@ def fastforward_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                          baseline_rr_256(fastforward=policy)))
         variants.append((f"wsrs-{policy}",
                          wsrs_rc(512, fastforward=policy)))
-    return _sweep("fastforward", variants, benchmarks, measure, warmup)
+    return _sweep("fastforward", variants, benchmarks, measure, warmup,
+                  workers)
 
 
 def rename_impl_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                       measure: int = ABLATION_MEASURE,
-                      warmup: int = ABLATION_WARMUP) -> AblationResult:
+                      warmup: int = ABLATION_WARMUP,
+                      workers: int | None = None) -> AblationResult:
     """A3: renaming implementation 1 vs 2, for WS and WSRS machines."""
     variants = [
         ("WS-impl1", ws_rr(512, rename_impl=1)),
@@ -104,12 +105,14 @@ def rename_impl_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
         ("WSRS-impl1", wsrs_rc(512, rename_impl=1)),
         ("WSRS-impl2", wsrs_rc(512, rename_impl=2)),
     ]
-    return _sweep("rename_impl", variants, benchmarks, measure, warmup)
+    return _sweep("rename_impl", variants, benchmarks, measure, warmup,
+                  workers)
 
 
 def allocation_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                      measure: int = ABLATION_MEASURE,
-                     warmup: int = ABLATION_WARMUP) -> AblationResult:
+                     warmup: int = ABLATION_WARMUP,
+                     workers: int | None = None) -> AblationResult:
     """A4: allocation policies on the WSRS machine."""
     variants = [
         ("RM", wsrs_rm(512)),
@@ -118,7 +121,8 @@ def allocation_sweep(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
          wsrs_rc(512, allocation_policy="dependence_aware",
                  name="WSRS DEP 512")),
     ]
-    return _sweep("allocation", variants, benchmarks, measure, warmup)
+    return _sweep("allocation", variants, benchmarks, measure, warmup,
+                  workers)
 
 
 def format_result(result: AblationResult) -> str:
@@ -138,13 +142,18 @@ def format_result(result: AblationResult) -> str:
 def run_all(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
             measure: int = ABLATION_MEASURE,
             warmup: int = ABLATION_WARMUP,
-            print_tables: bool = True) -> List[AblationResult]:
-    """Run the four ablations."""
+            print_tables: bool = True,
+            workers: int | None = None) -> List[AblationResult]:
+    """Run the four ablations (``workers``: see the experiment engine)."""
     results = [
-        register_sweep(benchmarks, measure=measure, warmup=warmup),
-        fastforward_sweep(benchmarks, measure=measure, warmup=warmup),
-        rename_impl_sweep(benchmarks, measure=measure, warmup=warmup),
-        allocation_sweep(benchmarks, measure=measure, warmup=warmup),
+        register_sweep(benchmarks, measure=measure, warmup=warmup,
+                       workers=workers),
+        fastforward_sweep(benchmarks, measure=measure, warmup=warmup,
+                          workers=workers),
+        rename_impl_sweep(benchmarks, measure=measure, warmup=warmup,
+                          workers=workers),
+        allocation_sweep(benchmarks, measure=measure, warmup=warmup,
+                         workers=workers),
     ]
     if print_tables:
         for result in results:

@@ -81,8 +81,13 @@ def check_relations(results: Dict[str, Dict[str, RunResult]]) -> List[str]:
 
 def run(measure: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP,
         benchmarks: List[str] | None = None, seed: int = 1,
-        print_table: bool = True) -> Figure4Report:
-    """Regenerate Figure 4."""
+        print_table: bool = True,
+        workers: int | None = None) -> Figure4Report:
+    """Regenerate Figure 4.
+
+    ``workers`` is forwarded to :func:`repro.experiments.runner.run_matrix`
+    (``None``: all cores; 1: the serial determinism path).
+    """
     configs = figure4_configs()
     names = [config.name for config in configs]
     if benchmarks is None:
@@ -96,7 +101,8 @@ def run(measure: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP,
 
     results = run_matrix(configs, benchmarks, measure=measure,
                          warmup=warmup, seed=seed,
-                         progress=progress if print_table else None)
+                         progress=progress if print_table else None,
+                         workers=workers)
     report = Figure4Report(results=results,
                            violations=check_relations(results))
     if print_table:

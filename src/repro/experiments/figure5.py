@@ -83,13 +83,18 @@ def _mean(values: List[float]) -> float:
 
 def run(measure: int = DEFAULT_MEASURE, warmup: int = DEFAULT_WARMUP,
         benchmarks: List[str] | None = None, seed: int = 1,
-        print_table: bool = True) -> Figure5Report:
-    """Regenerate Figure 5."""
+        print_table: bool = True,
+        workers: int | None = None) -> Figure5Report:
+    """Regenerate Figure 5.
+
+    ``workers`` is forwarded to :func:`repro.experiments.runner.run_matrix`
+    (``None``: all cores; 1: the serial determinism path).
+    """
     configs = (baseline_rr_256(), wsrs_rc(512), wsrs_rm(512))
     if benchmarks is None:
         benchmarks = list(INTEGER_BENCHMARKS) + list(FP_BENCHMARKS)
     results = run_matrix(configs, benchmarks, measure=measure,
-                         warmup=warmup, seed=seed)
+                         warmup=warmup, seed=seed, workers=workers)
     report = Figure5Report(results=results,
                            violations=check_relations(results))
     if print_table:

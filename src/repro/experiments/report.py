@@ -26,6 +26,7 @@ class ReportInputs:
     measure: int
     warmup: int
     seed: int = 1
+    workers: int | None = None
 
 
 def _table1_section() -> List[str]:
@@ -61,7 +62,8 @@ def _figure4_section(inputs: ReportInputs) -> List[str]:
              f"({inputs.measure:,} measured / {inputs.warmup:,} warm-up "
              f"instructions per run)", ""]
     report = figure4.run(measure=inputs.measure, warmup=inputs.warmup,
-                         seed=inputs.seed, print_table=False)
+                         seed=inputs.seed, print_table=False,
+                         workers=inputs.workers)
     names = [config.name for config in figure4_configs()]
     lines.append("| benchmark | " + " | ".join(names) + " |")
     lines.append("|---|" + "---|" * len(names))
@@ -92,7 +94,8 @@ def _figure4_section(inputs: ReportInputs) -> List[str]:
 def _figure5_section(inputs: ReportInputs) -> List[str]:
     lines = ["## Figure 5 - unbalancing degrees (%)", ""]
     report = figure5.run(measure=inputs.measure, warmup=inputs.warmup,
-                         seed=inputs.seed, print_table=False)
+                         seed=inputs.seed, print_table=False,
+                         workers=inputs.workers)
     lines.append("| benchmark | WSRS RC | WSRS RM |")
     lines.append("|---|---|---|")
     for benchmark in list(INTEGER_BENCHMARKS) + list(FP_BENCHMARKS):
@@ -116,7 +119,8 @@ def _ablation_section(inputs: ReportInputs) -> List[str]:
     measure = min(inputs.measure, 30_000)
     warmup = min(inputs.warmup, 40_000)
     for result in ablations.run_all(measure=measure, warmup=warmup,
-                                    print_tables=False):
+                                    print_tables=False,
+                                    workers=inputs.workers):
         lines.append(f"### {result.name}")
         lines.append("")
         benchmarks = list(result.ipc)
@@ -158,10 +162,12 @@ def main(argv=None) -> int:
     parser.add_argument("--measure", type=int, default=100_000)
     parser.add_argument("--warmup", type=int, default=120_000)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--out", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
     text = generate(ReportInputs(measure=args.measure,
-                                 warmup=args.warmup, seed=args.seed))
+                                 warmup=args.warmup, seed=args.seed,
+                                 workers=args.workers))
     with open(args.out, "w") as handle:
         handle.write(text)
     print(f"wrote {args.out}")

@@ -1,4 +1,4 @@
-"""Shared experiment plumbing.
+"""Shared experiment plumbing: specs, execution, and the parallel engine.
 
 Experiments bind a machine configuration to a benchmark trace and run the
 simulator for a warm-up phase (caches + branch predictor) followed by a
@@ -7,21 +7,50 @@ warm, then measure).  The paper measures 10 M-instruction slices; a pure
 Python simulator is ~10^2 slower than the authors' C simulator, so the
 default slice here is 100 K instructions with a 120 K warm-up - the
 ``scale`` knob multiplies both for higher-fidelity runs.
+
+Experiment matrices are embarrassingly parallel - every (benchmark,
+configuration) cell is an independent simulation on a byte-identical
+input stream - so :func:`run_matrix` and :func:`execute_many` fan cells
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* ``workers=None`` uses every core (``os.cpu_count()``); ``workers=1``
+  is a plain in-process loop kept as the determinism-debugging escape
+  hatch (one process, one breakpoint, strictly sequential cells);
+* before spawning workers, the parent pre-warms the process-wide trace
+  cache (:mod:`repro.trace.cache`) with every distinct workload of the
+  matrix, so forked workers inherit the materialised traces through
+  copy-on-write pages instead of regenerating them;
+* ``progress(...)`` callbacks stream in the parent as futures complete,
+  in completion order; results are reassembled in spec order, so the
+  returned structure - and every statistic in it - is bit-identical to
+  the serial path's (the simulator is deterministic and each cell's RNG
+  state is derived only from its own spec).
+
+Everything crossing the pool boundary (:class:`RunSpec`,
+:class:`RunResult`, :class:`~repro.core.stats.SimulationStats`) is plain
+picklable data.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.config import MachineConfig
 from repro.core.processor import Processor
 from repro.core.stats import SimulationStats
-from repro.trace.profiles import spec_trace
+from repro.frontend.predictors import make_predictor
+from repro.trace.cache import cached_spec_trace, default_cache
 
 #: Default measured-slice and warm-up lengths (instructions).
 DEFAULT_MEASURE = 100_000
 DEFAULT_WARMUP = 120_000
+
+#: Instructions generated beyond warmup+measure so the pipeline drains
+#: without exhausting the trace early.
+TRACE_SLACK = 8_192
 
 
 @dataclass(frozen=True)
@@ -33,6 +62,12 @@ class RunSpec:
     measure: int = DEFAULT_MEASURE
     warmup: int = DEFAULT_WARMUP
     seed: int = 1
+    predictor: str = "2bcgskew"
+    check_invariants: bool = True
+
+    @property
+    def trace_length(self) -> int:
+        return self.warmup + self.measure + TRACE_SLACK
 
 
 @dataclass
@@ -52,12 +87,97 @@ class RunResult:
 
 
 def execute(spec: RunSpec) -> RunResult:
-    """Run one simulation to completion."""
-    trace = spec_trace(spec.benchmark, spec.warmup + spec.measure + 8_192,
-                       seed=spec.seed)
-    processor = Processor(spec.config, trace)
+    """Run one simulation to completion (the pool worker entry point)."""
+    trace = cached_spec_trace(spec.benchmark, spec.trace_length,
+                              seed=spec.seed)
+    processor = Processor(spec.config, trace,
+                          predictor=make_predictor(spec.predictor),
+                          check_invariants=spec.check_invariants)
     stats = processor.run(measure=spec.measure, warmup=spec.warmup)
     return RunResult(spec=spec, stats=stats)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers=`` knob to a concrete positive count."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def warm_trace_cache(specs: Sequence[RunSpec]) -> int:
+    """Materialise every distinct workload of ``specs`` into the cache.
+
+    Returns the number of distinct workloads.  Called by the parallel
+    engine before forking so workers share the parent's traces; also
+    useful on its own to pay all generation cost up front.
+    """
+    seen: Set[tuple] = set()
+    cache = default_cache()
+    for spec in specs:
+        key = (spec.benchmark, spec.trace_length, spec.seed)
+        if key not in seen:
+            seen.add(key)
+            cache.get(*key)
+    return len(seen)
+
+
+def execute_many(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[RunResult], None]] = None,
+) -> List[RunResult]:
+    """Run every spec, fanning out over a process pool when ``workers>1``.
+
+    Results come back in ``specs`` order regardless of completion order.
+    ``progress``, when given, is called as ``progress(result)`` once per
+    finished cell - in spec order when serial, in completion order when
+    parallel.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or len(specs) <= 1:
+        results = []
+        for spec in specs:
+            result = execute(spec)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+    # Generate each distinct trace once, pre-fork: forked workers then
+    # read the parent's materialised traces via copy-on-write.
+    warm_trace_cache(specs)
+    slots: List[Optional[RunResult]] = [None] * len(specs)
+    max_workers = min(workers, len(specs))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        future_index = {pool.submit(execute, spec): index
+                        for index, spec in enumerate(specs)}
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                result = future.result()
+                slots[future_index[future]] = result
+                if progress is not None:
+                    progress(result)
+    return [result for result in slots if result is not None]
+
+
+def matrix_specs(
+    configs: Sequence[MachineConfig],
+    benchmarks: Iterable[str],
+    measure: int = DEFAULT_MEASURE,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> List[RunSpec]:
+    """The spec list of a full (benchmark x config) matrix, row-major."""
+    return [
+        RunSpec(config=config, benchmark=benchmark, measure=measure,
+                warmup=warmup, seed=seed)
+        for benchmark in benchmarks
+        for config in configs
+    ]
 
 
 def run_matrix(
@@ -66,25 +186,34 @@ def run_matrix(
     measure: int = DEFAULT_MEASURE,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 1,
-    progress: Optional[object] = None,
+    progress: Optional[Callable] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (benchmark, config) pair.
 
     Returns ``results[benchmark][config_name]``.  ``progress``, when
     given, is called as ``progress(benchmark, config_name, result)`` after
-    each run (used by the CLI to stream rows).
+    each run (used by the CLI to stream rows).  ``workers`` selects the
+    execution engine: ``None`` (the default) uses every core, >1 that
+    many pool workers, and 1 the strictly serial in-process path (the
+    determinism-debugging escape hatch) - per-cell results are
+    bit-identical either way, only the ``progress`` callback order
+    differs.
     """
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for benchmark in benchmarks:
-        row: Dict[str, RunResult] = {}
-        for config in configs:
-            spec = RunSpec(config=config, benchmark=benchmark,
-                           measure=measure, warmup=warmup, seed=seed)
-            result = execute(spec)
-            row[config.name] = result
-            if progress is not None:
-                progress(benchmark, config.name, result)
-        results[benchmark] = row
+    benchmarks = list(benchmarks)
+    specs = matrix_specs(configs, benchmarks, measure=measure,
+                         warmup=warmup, seed=seed)
+
+    cell_progress = None
+    if progress is not None:
+        def cell_progress(result: RunResult) -> None:
+            progress(result.spec.benchmark, result.spec.config.name, result)
+
+    cells = execute_many(specs, workers=workers, progress=cell_progress)
+    results: Dict[str, Dict[str, RunResult]] = {
+        benchmark: {} for benchmark in benchmarks}
+    for result in cells:
+        results[result.spec.benchmark][result.spec.config.name] = result
     return results
 
 

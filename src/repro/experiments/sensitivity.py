@@ -12,6 +12,11 @@ at a fraction of the complexity) is to the modelling assumptions:
 * :func:`predictor_sweep` - predictor quality (always-taken, bimodal,
   gshare, 2Bc-gskew): mispredict-penalty differences between the
   configurations matter more when prediction is worse.
+
+Each sweep builds a flat :class:`~repro.experiments.runner.RunSpec` list
+and hands it to :func:`~repro.experiments.runner.execute_many`, so the
+cells run through the shared parallel engine (``workers=`` knob, trace
+cache) like every other experiment.
 """
 
 from __future__ import annotations
@@ -27,9 +32,7 @@ from repro.config import (
     two_cluster_4way,
     wsrs_rc,
 )
-from repro.core.processor import Processor
-from repro.frontend.predictors import make_predictor
-from repro.trace.profiles import spec_trace
+from repro.experiments.runner import RunSpec, execute_many
 
 DEFAULT_BENCHMARK = "gzip"
 DEFAULT_MEASURE = 40_000
@@ -43,88 +46,95 @@ class SweepResult:
     ipc: Dict[str, Dict[str, float]]
 
 
-def _run(config: MachineConfig, benchmark: str, measure: int,
-         warmup: int, predictor_kind: str = "2bcgskew") -> float:
-    trace = spec_trace(benchmark, measure + warmup + 8_192)
-    processor = Processor(config, trace,
-                          predictor=make_predictor(predictor_kind))
-    return processor.run(measure=measure, warmup=warmup).ipc
+def _run_cells(name: str,
+               cells: Sequence[Tuple[str, str, MachineConfig, str]],
+               benchmark: str, measure: int, warmup: int,
+               workers: int | None) -> SweepResult:
+    """Execute (variant, config_label, config, predictor) cells."""
+    specs = [RunSpec(config=config, benchmark=benchmark, measure=measure,
+                     warmup=warmup, predictor=predictor)
+             for _, _, config, predictor in cells]
+    results = execute_many(specs, workers=workers)
+    ipc: Dict[str, Dict[str, float]] = {}
+    for (variant, label, _, _), result in zip(cells, results):
+        ipc.setdefault(variant, {})[label] = result.ipc
+    return SweepResult(name, ipc)
 
 
 def penalty_sweep(benchmark: str = DEFAULT_BENCHMARK,
                   penalties: Sequence[int] = (10, 14, 17, 21, 25),
                   measure: int = DEFAULT_MEASURE,
-                  warmup: int = DEFAULT_WARMUP) -> SweepResult:
+                  warmup: int = DEFAULT_WARMUP,
+                  workers: int | None = None) -> SweepResult:
     """Base and WSRS across misprediction penalties.
 
     WSRS carries a constant +1-cycle handicap (renaming implementation 2:
     three extra stages before rename, two saved on register read), so the
     *gap* should stay roughly constant as the penalty scales.
     """
-    ipc: Dict[str, Dict[str, float]] = {}
+    cells = []
     for penalty in penalties:
-        ipc[f"penalty-{penalty}"] = {
-            "base": _run(baseline_rr_256(mispredict_penalty=penalty),
-                         benchmark, measure, warmup),
-            "wsrs": _run(wsrs_rc(512, mispredict_penalty=penalty + 1),
-                         benchmark, measure, warmup),
-        }
-    return SweepResult("penalty", ipc)
+        variant = f"penalty-{penalty}"
+        cells.append((variant, "base",
+                      baseline_rr_256(mispredict_penalty=penalty),
+                      "2bcgskew"))
+        cells.append((variant, "wsrs",
+                      wsrs_rc(512, mispredict_penalty=penalty + 1),
+                      "2bcgskew"))
+    return _run_cells("penalty", cells, benchmark, measure, warmup,
+                      workers)
 
 
 def memory_sweep(benchmark: str = DEFAULT_BENCHMARK,
                  miss_penalties: Sequence[int] = (40, 80, 160),
                  measure: int = DEFAULT_MEASURE,
-                 warmup: int = DEFAULT_WARMUP) -> SweepResult:
+                 warmup: int = DEFAULT_WARMUP,
+                 workers: int | None = None) -> SweepResult:
     """Base and WSRS across main-memory latencies."""
-    ipc: Dict[str, Dict[str, float]] = {}
+    cells = []
     for penalty in miss_penalties:
         memory = MemoryConfig(
             l2=CacheConfig(size_bytes=512 * 1024, line_bytes=64,
                            associativity=8, hit_latency=12,
                            miss_penalty=penalty))
-        ipc[f"mem-{penalty}"] = {
-            "base": _run(baseline_rr_256(memory=memory), benchmark,
-                         measure, warmup),
-            "wsrs": _run(wsrs_rc(512, memory=memory), benchmark,
-                         measure, warmup),
-        }
-    return SweepResult("memory", ipc)
+        variant = f"mem-{penalty}"
+        cells.append((variant, "base", baseline_rr_256(memory=memory),
+                      "2bcgskew"))
+        cells.append((variant, "wsrs", wsrs_rc(512, memory=memory),
+                      "2bcgskew"))
+    return _run_cells("memory", cells, benchmark, measure, warmup, workers)
 
 
 def width_sweep(benchmark: str = DEFAULT_BENCHMARK,
                 measure: int = DEFAULT_MEASURE,
-                warmup: int = DEFAULT_WARMUP) -> SweepResult:
+                warmup: int = DEFAULT_WARMUP,
+                workers: int | None = None) -> SweepResult:
     """The complexity-effectiveness triangle of section 4.2.2.
 
     noWS-2 (4-way) vs the conventional 8-way vs the 8-way WSRS machine:
     WSRS aims for 8-way performance at close-to-4-way complexity.
     """
-    ipc = {"width": {
-        "noWS-2 (4-way)": _run(two_cluster_4way(), benchmark, measure,
-                               warmup),
-        "conventional 8-way": _run(baseline_rr_256(), benchmark,
-                                   measure, warmup),
-        "WSRS 8-way": _run(wsrs_rc(512), benchmark, measure, warmup),
-    }}
-    return SweepResult("width", ipc)
+    cells = [
+        ("width", "noWS-2 (4-way)", two_cluster_4way(), "2bcgskew"),
+        ("width", "conventional 8-way", baseline_rr_256(), "2bcgskew"),
+        ("width", "WSRS 8-way", wsrs_rc(512), "2bcgskew"),
+    ]
+    return _run_cells("width", cells, benchmark, measure, warmup, workers)
 
 
 def predictor_sweep(benchmark: str = DEFAULT_BENCHMARK,
                     kinds: Sequence[str] = ("always-taken", "bimodal",
                                             "gshare", "2bcgskew"),
                     measure: int = DEFAULT_MEASURE,
-                    warmup: int = DEFAULT_WARMUP) -> SweepResult:
+                    warmup: int = DEFAULT_WARMUP,
+                    workers: int | None = None) -> SweepResult:
     """Base and WSRS across predictor quality."""
-    ipc: Dict[str, Dict[str, float]] = {}
+    cells = []
     for kind in kinds:
-        ipc[kind] = {
-            "base": _run(baseline_rr_256(), benchmark, measure, warmup,
-                         predictor_kind=kind),
-            "wsrs": _run(wsrs_rc(512), benchmark, measure, warmup,
-                         predictor_kind=kind),
-        }
-    return SweepResult("predictor", ipc)
+        cells.append((kind, "base", baseline_rr_256(), kind))
+        cells.append((kind, "wsrs", wsrs_rc(512), kind))
+    return _run_cells("predictor", cells, benchmark, measure, warmup,
+                      workers)
 
 
 def format_sweep(result: SweepResult) -> str:
@@ -139,12 +149,17 @@ def format_sweep(result: SweepResult) -> str:
 def run_all(benchmark: str = DEFAULT_BENCHMARK,
             measure: int = DEFAULT_MEASURE,
             warmup: int = DEFAULT_WARMUP,
-            print_tables: bool = True) -> List[SweepResult]:
+            print_tables: bool = True,
+            workers: int | None = None) -> List[SweepResult]:
     results = [
-        penalty_sweep(benchmark, measure=measure, warmup=warmup),
-        memory_sweep(benchmark, measure=measure, warmup=warmup),
-        width_sweep(benchmark, measure=measure, warmup=warmup),
-        predictor_sweep(benchmark, measure=measure, warmup=warmup),
+        penalty_sweep(benchmark, measure=measure, warmup=warmup,
+                      workers=workers),
+        memory_sweep(benchmark, measure=measure, warmup=warmup,
+                     workers=workers),
+        width_sweep(benchmark, measure=measure, warmup=warmup,
+                    workers=workers),
+        predictor_sweep(benchmark, measure=measure, warmup=warmup,
+                        workers=workers),
     ]
     if print_tables:
         for result in results:

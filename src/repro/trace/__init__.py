@@ -1,6 +1,7 @@
 """Workloads: the trace model, synthetic SPEC-shaped generation,
-assembly microbenchmarks and trace persistence."""
+trace caching, assembly microbenchmarks and trace persistence."""
 
+from repro.trace.cache import TraceCache, cached_spec_trace, default_cache
 from repro.trace.model import OpClass, TraceInstruction, validate_trace
 from repro.trace.profiles import (
     ALL_BENCHMARKS,
@@ -20,9 +21,12 @@ __all__ = [
     "OpClass",
     "PROFILES",
     "SyntheticTraceGenerator",
+    "TraceCache",
     "TraceInstruction",
     "WorkloadProfile",
     "benchmark_names",
+    "cached_spec_trace",
+    "default_cache",
     "get_profile",
     "spec_trace",
     "validate_trace",

@@ -37,6 +37,13 @@ from typing import Iterator, List, Optional, Sequence
 from repro.errors import TraceError
 from repro.trace.model import OpClass, TraceInstruction
 
+#: Version of the generation algorithm.  Any change that alters the
+#: instruction stream produced for a given (profile, seed, length) - new
+#: fields, different RNG consumption order, skeleton changes - must bump
+#: this; it is part of the trace-cache key (:mod:`repro.trace.cache`), so
+#: bumping it invalidates every cached trace, in memory and on disk.
+GENERATOR_VERSION = 1
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:

@@ -1,0 +1,95 @@
+"""Regression tests for deadlock-move accounting in the front end.
+
+Two bugs pinned here (ISSUE satellites):
+
+* ``stats.deadlock_moves`` used to copy the renamer's *cumulative* move
+  counter, so a measured slice inherited every move injected during
+  warm-up.  The processor now snapshots the counter at measurement reset
+  and reports the delta.
+* the front-end charge ``min(budget - 1, moves)`` silently dropped the
+  excess when a deadlock-breaking move burst exceeded the cycle's
+  remaining budget (and charged nothing at ``budget == 1``).  The excess
+  now carries into following cycles as debt, and every charged slot is
+  visible in ``stats.stall_deadlock_moves``.
+"""
+
+from repro.config import ws_rr
+from repro.core.processor import Processor
+from repro.core.stats import SimulationStats
+from repro.trace.cache import cached_spec_trace
+
+
+def tight_config():
+    """WS machine with 21-register subsets against 80 logical registers.
+
+    Only four registers of slack across the whole integer file, so the
+    section 2.3 moves workaround fires constantly - in warm-up and in
+    the measured slice alike.
+    """
+    return ws_rr(84, deadlock_policy="moves", fp_physical_registers=160,
+                 name="WSRR tight-84")
+
+
+def run_tight(measure=5_000, warmup=5_000):
+    processor = Processor(
+        tight_config(),
+        cached_spec_trace("gzip", measure + warmup + 4_000, seed=1))
+    stats = processor.run(measure=measure, warmup=warmup)
+    return processor, stats
+
+
+class TestWarmupIsolation:
+    def test_measured_slice_reports_delta_not_cumulative(self):
+        processor, stats = run_tight()
+        base = processor._measured_moves_base
+        cumulative = processor.renamer.deadlock_moves
+        assert base > 0, "warm-up produced no moves: config not tight"
+        assert stats.deadlock_moves == cumulative - base
+        # The regression: the old code reported `cumulative` here.
+        assert stats.deadlock_moves < cumulative
+
+    def test_without_warmup_delta_equals_cumulative(self):
+        processor, stats = run_tight(warmup=0)
+        assert processor._measured_moves_base == 0
+        assert stats.deadlock_moves == processor.renamer.deadlock_moves
+        assert stats.deadlock_moves > 0
+
+    def test_reset_measurement_zeroes_move_counters(self):
+        stats = SimulationStats(4)
+        stats.deadlock_moves = 7
+        stats.stall_deadlock_moves = 5
+        stats.reset_measurement()
+        assert stats.deadlock_moves == 0
+        assert stats.stall_deadlock_moves == 0
+
+    def test_summary_exposes_both_counters(self):
+        _, stats = run_tight()
+        summary = stats.summary()
+        assert summary["deadlock_moves"] == stats.deadlock_moves
+        assert summary["stall_deadlock_moves"] == stats.stall_deadlock_moves
+
+
+class TestBudgetCharge:
+    def test_every_measured_move_is_charged_eventually(self):
+        # With debt carry-over, charged slots must account for every
+        # move of the measured slice once the debt drains to zero.
+        processor, stats = run_tight()
+        assert processor._move_debt >= 0
+        assert (stats.stall_deadlock_moves + processor._move_debt
+                >= stats.deadlock_moves)
+
+    def test_debt_settles_before_renaming(self):
+        processor = Processor(
+            tight_config(), cached_spec_trace("gzip", 2_000, seed=1))
+        width = processor.config.front_width
+        processor._move_debt = width + 3
+        processor.step()
+        # One full cycle of budget went to the debt, none to renaming.
+        assert processor._move_debt == 3
+        assert processor.stats.stall_deadlock_moves == width
+        assert processor.stats.dispatched == 0
+        processor.step()
+        # The remainder settles and the front end resumes.
+        assert processor._move_debt == 0
+        assert processor.stats.stall_deadlock_moves == width + 3
+        assert processor.stats.dispatched > 0

@@ -109,13 +109,24 @@ class TestOccupancy:
         sched.select(1)
         assert sched.queued == 1
 
-    def test_reinsert_ready(self):
+    def test_no_reinsertion_api_outside_select(self):
+        # The wake/select contract is closed: vetoed micro-ops stay in
+        # the ready heap inside select() itself, and nothing else may
+        # re-add an already-picked uop (the removed `reinsert_ready`
+        # bypass allowed double-issue).
+        assert not hasattr(ClusterScheduler, "reinsert_ready")
+
+    def test_vetoed_uop_retains_age_across_cycles(self):
         sched = scheduler()
-        uop = make_uop(0)
-        sched.enqueue(uop, 1)
-        picked = sched.select(1)
-        sched.reinsert_ready(picked[0])
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1, OpClass.LOAD), 1)
+        # veto everything: both stay queued, nothing double-issues
+        assert sched.select(1, veto=lambda u: True) == []
+        assert sched.queued == 2
+        # veto lifted: oldest first, each picked exactly once
         assert [u.seq for u in sched.select(2)] == [0]
+        assert [u.seq for u in sched.select(3)] == [1]
+        assert sched.is_empty()
 
     def test_is_empty(self):
         sched = scheduler()

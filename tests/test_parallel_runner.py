@@ -1,0 +1,134 @@
+"""Tests for the parallel experiment engine.
+
+The contract under test (ISSUE: parallel experiment engine): fanning a
+matrix out over worker processes must be invisible in the results -
+``run_matrix(workers=N)`` returns bit-identical statistics to the serial
+``workers=1`` path, only faster.  These tests pin the pieces that
+contract rests on: picklable specs/results, deterministic per-cell
+execution, spec-order reassembly, and the progress stream.
+"""
+
+import pickle
+
+import pytest
+
+from repro.config import baseline_rr_256, wsrs_rc
+from repro.experiments.runner import (
+    RunSpec,
+    TRACE_SLACK,
+    execute,
+    execute_many,
+    matrix_specs,
+    resolve_workers,
+    run_matrix,
+    warm_trace_cache,
+)
+
+MINI_BENCHMARKS = ("gzip", "mcf", "wupwise")
+MINI_MEASURE = 2_000
+MINI_WARMUP = 1_000
+
+
+def mini_configs():
+    return [baseline_rr_256(), wsrs_rc(512)]
+
+
+def mini_specs():
+    return matrix_specs(mini_configs(), MINI_BENCHMARKS,
+                        measure=MINI_MEASURE, warmup=MINI_WARMUP)
+
+
+class TestResolveWorkers:
+    def test_none_means_every_core(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+class TestPicklability:
+    """Everything crossing the pool boundary must pickle."""
+
+    def test_spec_round_trips(self):
+        spec = RunSpec(config=wsrs_rc(512), benchmark="gzip",
+                       measure=100, warmup=50)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.trace_length == 150 + TRACE_SLACK
+
+    def test_result_and_stats_round_trip(self):
+        spec = RunSpec(config=baseline_rr_256(), benchmark="gzip",
+                       measure=500, warmup=0)
+        result = execute(spec)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.spec == spec
+        assert clone.stats.summary() == result.stats.summary()
+        assert clone.ipc == result.ipc
+
+
+class TestExecuteMany:
+    def test_results_come_back_in_spec_order(self):
+        specs = mini_specs()
+        results = execute_many(specs, workers=1)
+        assert [r.spec for r in results] == specs
+
+    def test_serial_progress_streams_every_cell(self):
+        specs = mini_specs()
+        seen = []
+        execute_many(specs, workers=1, progress=lambda r: seen.append(r.spec))
+        assert seen == specs
+
+    def test_parallel_progress_streams_every_cell(self):
+        specs = mini_specs()
+        seen = []
+        execute_many(specs, workers=2, progress=lambda r: seen.append(r.spec))
+        assert sorted(seen, key=specs.index) == specs
+
+    def test_single_spec_stays_in_process(self):
+        # len(specs) <= 1 short-circuits to the serial path even with
+        # workers > 1: no pool spin-up for a lone cell.
+        spec = RunSpec(config=baseline_rr_256(), benchmark="gzip",
+                       measure=200, warmup=0)
+        (result,) = execute_many([spec], workers=8)
+        assert result.stats.committed >= 200
+
+    def test_warm_trace_cache_counts_distinct_workloads(self):
+        specs = mini_specs()
+        # 3 benchmarks x 2 configs but only 3 distinct workloads
+        assert warm_trace_cache(specs) == len(MINI_BENCHMARKS)
+
+
+class TestParallelSerialParity:
+    """ISSUE acceptance: workers=N bit-identical to workers=1."""
+
+    def test_mini_matrix_bit_identical(self):
+        configs = mini_configs()
+        serial = run_matrix(configs, MINI_BENCHMARKS, measure=MINI_MEASURE,
+                            warmup=MINI_WARMUP, workers=1)
+        parallel = run_matrix(configs, MINI_BENCHMARKS,
+                              measure=MINI_MEASURE, warmup=MINI_WARMUP,
+                              workers=2)
+        assert set(serial) == set(parallel) == set(MINI_BENCHMARKS)
+        for benchmark in MINI_BENCHMARKS:
+            for config in configs:
+                ours = serial[benchmark][config.name]
+                theirs = parallel[benchmark][config.name]
+                # bit-identical, not approximately equal
+                assert ours.ipc == theirs.ipc
+                assert ours.unbalancing_degree == theirs.unbalancing_degree
+                assert ours.stats.summary() == theirs.stats.summary()
+                assert (ours.stats.cluster_issued
+                        == theirs.stats.cluster_issued)
+
+    def test_run_matrix_progress_callback_signature(self):
+        rows = []
+        run_matrix([baseline_rr_256()], ("gzip", "mcf"),
+                   measure=500, warmup=0, workers=1,
+                   progress=lambda b, c, r: rows.append((b, c, r.ipc)))
+        assert [(b, c) for b, c, _ in rows] == [
+            ("gzip", "RR 256"), ("mcf", "RR 256")]
