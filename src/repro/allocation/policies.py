@@ -118,7 +118,14 @@ def legal_choices(
 
 
 class Allocator:
-    """Base class: maps each instruction to an execution cluster."""
+    """Base class: maps each instruction to an execution cluster.
+
+    Every policy draws randomness exclusively from ``self.rng``, a
+    per-instance :class:`random.Random` built from the recorded
+    ``self.seed`` - never from the module-level ``random.*`` API, whose
+    shared global state would make matrix cells irreproducible (the
+    ``wsrs lint`` pass enforces exactly this).
+    """
 
     name = "base"
     #: Whether the policy honours the WSRS read constraints.
@@ -126,6 +133,7 @@ class Allocator:
 
     def __init__(self, num_clusters: int = 4, seed: int = 0) -> None:
         self.num_clusters = num_clusters
+        self.seed = seed
         self.rng = random.Random(seed)
 
     def allocate(
@@ -137,7 +145,12 @@ class Allocator:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Forget any inter-instruction state (new simulation run)."""
+        """Forget any inter-instruction state (new simulation run).
+
+        Reseeds the RNG, so a reused allocator replays the exact
+        allocation stream of a fresh instance.
+        """
+        self.rng = random.Random(self.seed)
 
 
 class RoundRobinAllocator(Allocator):
@@ -155,6 +168,7 @@ class RoundRobinAllocator(Allocator):
         return cluster, False
 
     def reset(self) -> None:
+        super().reset()
         self._next = 0
 
 

@@ -13,6 +13,13 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs microbench                # run the assembly kernels
     wsrs savetrace gzip out.trace  # freeze a workload to a file
     wsrs throughput                # sweep throughput -> BENCH_throughput.json
+    wsrs lint                      # determinism/API lint over src/repro
+    wsrs verify                    # static WS/RS invariant rules per config
+
+``wsrs simulate --sanitize`` (or ``WSRS_SANITIZE=1`` for any command)
+runs the cycle-level pipeline sanitizer of :mod:`repro.verify.sanitizer`
+alongside the simulation and aborts with a structured violation if any
+WS/RS structural invariant is broken.
 
 Matrix-shaped commands (figure4, figure5, ablations, sensitivity,
 throughput) accept ``--workers N`` to fan the independent cells out over
@@ -95,7 +102,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = config_by_name(args.config)
     spec = RunSpec(config=config, benchmark=args.benchmark,
                    measure=args.measure, warmup=args.warmup,
-                   seed=args.seed)
+                   seed=args.seed, sanitize=args.sanitize)
     result = execute(spec)
     stats = result.stats
     print(f"benchmark        {args.benchmark}")
@@ -197,6 +204,44 @@ def _cmd_savetrace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.verify.lint import default_lint_target, lint_paths
+
+    targets = [p for p in args.paths] or [str(default_lint_target())]
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(f"{finding.path}:{finding.line}: "
+              f"{finding.rule}: {finding.message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.config import two_cluster_4way, wsrs_seven_cluster
+    from repro.verify.rules import all_rules, check_config
+
+    configs = list(figure4_configs())
+    configs.append(two_cluster_4way())
+    configs.append(wsrs_seven_cluster())
+    if args.config is not None:
+        configs = [c for c in configs if c.name == args.config]
+    rules = all_rules()
+    print(f"{len(rules)} rule(s): "
+          + ", ".join(rule.rule_id for rule in rules))
+    failures = 0
+    for config in configs:
+        violations = check_config(config)
+        status = "ok" if not violations else "FAIL"
+        print(f"{config.name:<16s} {status}")
+        for violation in violations:
+            failures += 1
+            print(f"    [{violation.rule}] {violation.message}")
+    return 1 if failures else 0
+
+
 def _cmd_profiles(args: argparse.Namespace) -> int:
     print(f"{'name':<10s}{'suite':<7s}description")
     for name in ALL_BENCHMARKS:
@@ -231,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("benchmark", choices=sorted(PROFILES))
     ps.add_argument("--config", default="RR 256",
                     choices=[c.name for c in figure4_configs()])
+    ps.add_argument("--sanitize", action="store_true",
+                    help="run the cycle-level pipeline sanitizer "
+                         "(repro.verify) alongside the simulation")
     _add_slice_arguments(ps)
     ps.set_defaults(func=_cmd_simulate)
 
@@ -260,6 +308,18 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--config", default="RR 256",
                     choices=[c.name for c in figure4_configs()])
     pm.set_defaults(func=_cmd_microbench)
+
+    pl = sub.add_parser(
+        "lint", help="determinism/API lint over the simulator sources")
+    pl.add_argument("paths", nargs="*", default=[],
+                    help="files or directories (default: src/repro)")
+    pl.set_defaults(func=_cmd_lint)
+
+    pw = sub.add_parser(
+        "verify", help="static WS/RS invariant rules per configuration")
+    pw.add_argument("--config", default=None,
+                    help="check a single configuration by name")
+    pw.set_defaults(func=_cmd_verify)
 
     pt = sub.add_parser("savetrace", help="freeze a workload to a file")
     pt.add_argument("benchmark", choices=sorted(PROFILES))

@@ -80,6 +80,18 @@ class CacheConfig:
         return self.num_lines // self.associativity
 
     def validate(self) -> None:
+        # Positivity first: the modulo / power-of-two checks below divide
+        # by these fields and are meaningless (or crash) on zero.
+        if self.size_bytes <= 0:
+            raise ConfigError("cache size must be positive")
+        if self.line_bytes <= 0:
+            raise ConfigError("cache line size must be positive")
+        if self.associativity <= 0:
+            raise ConfigError("cache associativity must be positive")
+        if self.hit_latency < 1:
+            raise ConfigError("cache hit latency must be >= 1 cycle")
+        if self.miss_penalty < 0:
+            raise ConfigError("cache miss penalty must be >= 0 cycles")
         if self.size_bytes % self.line_bytes:
             raise ConfigError("cache size must be a multiple of line size")
         if self.num_lines % self.associativity:
@@ -393,8 +405,11 @@ def wsrs_seven_cluster(int_registers: int = 560,
     Seven identical 2-way clusters (a 14-way machine) with the Fano-plane
     read-specialization mapping of :mod:`repro.extensions.general_wsrs`.
     Register totals must split into 7 subsets; the defaults give each
-    subset exactly the 80 architected integer registers (no deadlock,
-    section 2.3 sizing rule).
+    subset exactly the 80 architected integer registers - the borderline
+    of the section 2.3 sizing rule (deadlock is provably impossible only
+    with strictly *more* registers per subset than architected ones), so
+    the factory selects the ``moves`` workaround rather than claiming
+    deadlock freedom.
     """
     if int_registers % 7:
         raise ConfigError("7-cluster register total must split 7 ways")
@@ -406,6 +421,7 @@ def wsrs_seven_cluster(int_registers: int = 560,
         rob_size=392,  # 7 x 56
         specialization=SPECIALIZATION_WSRS,
         allocation_policy="mapped_random",
+        deadlock_policy=DEADLOCK_MOVES,
         int_physical_registers=int_registers,
         fp_physical_registers=280,
         mispredict_penalty=18,

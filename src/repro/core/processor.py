@@ -72,6 +72,7 @@ class Processor:
         trace: Iterable[TraceInstruction],
         predictor: Optional[BranchPredictor] = None,
         check_invariants: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -128,6 +129,21 @@ class Processor:
         self._int_subset = config.int_subset_size
         self._fp_subset = config.fp_subset_size
 
+        self.stats.record_run_metadata(config.allocation_policy,
+                                       self.allocator.seed)
+
+        from repro.verify.sanitizer import (
+            PipelineSanitizer,
+            sanitize_from_env,
+        )
+
+        self.sanitizer: Optional[PipelineSanitizer] = None
+        if sanitize_from_env(sanitize):
+            from repro.verify.rules import verify_config
+
+            verify_config(config)
+            self.sanitizer = PipelineSanitizer(config, self.renamer)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -170,6 +186,8 @@ class Processor:
         self.renamer.begin_cycle()
         self._rename_and_dispatch(cycle)
         self.renamer.end_cycle()
+        if self.sanitizer is not None:
+            self.sanitizer.on_cycle_end(cycle)
         self.stats.cycles += 1
         self.cycle = cycle + 1
 
@@ -181,12 +199,15 @@ class Processor:
         rob = self._rob
         renamer = self.renamer
         stats = self.stats
+        sanitizer = self.sanitizer
         budget = self.config.commit_width
         while budget and rob:
             uop = rob[0]
             if uop.result_cycle > cycle:
                 break
             rob.popleft()
+            if sanitizer is not None:
+                sanitizer.on_commit(uop, cycle)
             if uop.pdest is not None:
                 renamer.retire_write(uop.pdest)
             if uop.pold is not None:
@@ -266,6 +287,8 @@ class Processor:
         uop.issue_cycle = cycle
         result_cycle = cycle + latency
         uop.result_cycle = result_cycle
+        if self.sanitizer is not None:
+            self.sanitizer.on_issue(uop, cycle)
         if inst.op == OpClass.IMULDIV:
             if not self.config.pipelined_muldiv:
                 # non-pipelined: the unit is busy for the whole operation
@@ -389,6 +412,8 @@ class Processor:
                 self._reg_result[pdest] = UNKNOWN_CYCLE
                 self._reg_cluster[pdest] = cluster
 
+            if self.sanitizer is not None:
+                self.sanitizer.on_dispatch(uop, cycle)
             self._compute_wakeup(uop, cycle)
             if self.check_invariants and config.uses_read_specialization:
                 self._check_read_legality(uop)
@@ -486,8 +511,10 @@ def simulate(
     warmup: int = 0,
     predictor: Optional[BranchPredictor] = None,
     check_invariants: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> SimulationStats:
     """One-call convenience wrapper around :class:`Processor`."""
     processor = Processor(config, trace, predictor=predictor,
-                          check_invariants=check_invariants)
+                          check_invariants=check_invariants,
+                          sanitize=sanitize)
     return processor.run(measure=measure, warmup=warmup)

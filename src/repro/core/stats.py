@@ -42,7 +42,17 @@ class SimulationStats:
         self.num_clusters = num_clusters
         self._unbalance_low, self._unbalance_high = \
             unbalance_thresholds(num_clusters)
+        # Provenance, set once per run (not a measurement counter): the
+        # allocation policy and the seed its per-instance RNG was built
+        # from, so any matrix cell can be reproduced from its record.
+        self.allocation_policy: str = ""
+        self.allocation_seed: int = -1
         self.reset_measurement()
+
+    def record_run_metadata(self, policy: str, seed: int) -> None:
+        """Pin the reproducibility provenance of this run."""
+        self.allocation_policy = policy
+        self.allocation_seed = seed
 
     def reset_measurement(self) -> None:
         self.cycles = 0
@@ -164,4 +174,5 @@ class SimulationStats:
             "l1_misses": self.l1_misses,
             "l2_misses": self.l2_misses,
             "swapped_forms": self.swapped_forms,
+            "allocation_seed": self.allocation_seed,
         }

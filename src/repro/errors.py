@@ -67,6 +67,15 @@ class AllocationError(ReproError):
     """A cluster-allocation policy produced an illegal assignment."""
 
 
+class VerificationError(ReproError):
+    """An invariant of the verification layer (:mod:`repro.verify`) failed.
+
+    Raised by the static configuration rules when a whole-machine
+    invariant is broken and subclassed by the runtime pipeline
+    sanitizer's :class:`repro.verify.sanitizer.SanitizerViolation`.
+    """
+
+
 class TraceError(ReproError):
     """A trace stream is malformed or ended unexpectedly."""
 

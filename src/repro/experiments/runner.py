@@ -64,6 +64,10 @@ class RunSpec:
     seed: int = 1
     predictor: str = "2bcgskew"
     check_invariants: bool = True
+    #: Run under the cycle-level pipeline sanitizer
+    #: (:mod:`repro.verify.sanitizer`).  ``False`` still honours the
+    #: ``WSRS_SANITIZE`` environment switch in the worker process.
+    sanitize: bool = False
 
     @property
     def trace_length(self) -> int:
@@ -92,7 +96,8 @@ def execute(spec: RunSpec) -> RunResult:
                               seed=spec.seed)
     processor = Processor(spec.config, trace,
                           predictor=make_predictor(spec.predictor),
-                          check_invariants=spec.check_invariants)
+                          check_invariants=spec.check_invariants,
+                          sanitize=True if spec.sanitize else None)
     stats = processor.run(measure=spec.measure, warmup=spec.warmup)
     return RunResult(spec=spec, stats=stats)
 

@@ -217,10 +217,13 @@ class MappedRandomAllocator:
     def __init__(self, num_clusters: int = 4, seed: int = 0) -> None:
         self.num_clusters = num_clusters
         self.mapping = make_mapping(num_clusters)
+        self.seed = seed
         self.rng = random.Random(seed)
 
     def reset(self) -> None:
-        """Stateless apart from the RNG; nothing to reset."""
+        """Reseed the per-instance RNG (the only state this policy has),
+        so a reused allocator replays its exact allocation stream."""
+        self.rng = random.Random(self.seed)
 
     def allocate(self, inst: TraceInstruction, subset_of=None,
                  occupancy=None):

@@ -335,6 +335,25 @@ class Renamer:
         return [flist.available
                 for flist in self._classes[file_id].free_lists]
 
+    def inaccessible_free(self, file_id: int) -> List[int]:
+        """Per-subset count of free-but-unrenamable registers.
+
+        Under implementation 1 these are the speculatively staged groups
+        plus everything still traversing the recycling pipelines (the
+        "residual problem" of section 2.2); implementation 2 has none.
+        Together with :meth:`free_registers` this accounts for every
+        physical register that is neither architected nor in flight -
+        the conservation identity the pipeline sanitizer checks.
+        """
+        cls = self._classes[file_id]
+        if self.impl != 1:
+            return [0] * cls.num_subsets
+        return [
+            len(self._staging[file_id][subset])
+            + self._recyclers[file_id][subset].in_flight
+            for subset in range(cls.num_subsets)
+        ]
+
     @property
     def total_global_registers(self) -> int:
         return (self.config.int_physical_registers

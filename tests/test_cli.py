@@ -30,6 +30,17 @@ class TestParser:
             build_parser().parse_args(
                 ["simulate", "gzip", "--config", "bogus"])
 
+    def test_simulate_sanitize_flag(self):
+        args = build_parser().parse_args(["simulate", "gzip", "--sanitize"])
+        assert args.sanitize is True
+        args = build_parser().parse_args(["simulate", "gzip"])
+        assert args.sanitize is False
+
+    def test_lint_and_verify_commands(self):
+        assert build_parser().parse_args(["lint"]).command == "lint"
+        args = build_parser().parse_args(["verify", "--config", "RR 256"])
+        assert args.config == "RR 256"
+
 
 class TestCommands:
     def test_table1_succeeds(self, capsys):
@@ -58,3 +69,29 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Figure 5" in output
         assert code in (0, 1)  # relations may not hold at tiny scale
+
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_reports_findings(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.random()\n",
+                       encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "LINT-RANDOM" in output
+        assert "1 finding(s)" in output
+
+    def test_verify_all_configs_pass(self, capsys):
+        assert main(["verify"]) == 0
+        output = capsys.readouterr().out
+        assert "CFG-WRITE-PARTITION" in output
+        assert "WSRS RC S 512" in output
+        assert "FAIL" not in output
+
+    def test_simulate_sanitized_tiny_run(self, capsys):
+        code = main(["simulate", "gzip", "--config", "WSRS RC S 512",
+                     "--sanitize", "--measure", "1500", "--warmup", "500"])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out

@@ -213,6 +213,33 @@ class TestMemoryConfig:
         with pytest.raises(ConfigError):
             cache.validate()
 
+    @pytest.mark.parametrize("field,value,match", [
+        ("size_bytes", 0, "size must be positive"),
+        ("size_bytes", -4096, "size must be positive"),
+        ("line_bytes", 0, "line size must be positive"),
+        ("line_bytes", -64, "line size must be positive"),
+        ("associativity", 0, "associativity must be positive"),
+        ("associativity", -2, "associativity must be positive"),
+        ("hit_latency", 0, "hit latency"),
+        ("miss_penalty", -1, "miss penalty"),
+    ])
+    def test_cache_rejects_non_positive_fields(self, field, value, match):
+        # The positivity guards must fire *before* the modulo /
+        # power-of-two arithmetic, which divides by these fields.
+        fields = dict(size_bytes=32 * 1024, line_bytes=64, associativity=4,
+                      hit_latency=2, miss_penalty=12)
+        fields[field] = value
+        with pytest.raises(ConfigError, match=match):
+            CacheConfig(**fields).validate()
+
+    def test_cache_zero_line_reports_cleanly(self):
+        # A zero line size used to crash with ZeroDivisionError inside
+        # num_lines before the explicit guard existed.
+        cache = CacheConfig(size_bytes=32 * 1024, line_bytes=0,
+                            associativity=4, hit_latency=2, miss_penalty=12)
+        with pytest.raises(ConfigError, match="line size"):
+            cache.validate()
+
     def test_cluster_validation(self):
         with pytest.raises(ConfigError):
             ClusterConfig(issue_width=0).validate()

@@ -1,0 +1,189 @@
+"""The determinism/API lint pass (repro.verify.lint)."""
+
+import textwrap
+
+import pytest
+
+from repro.verify.lint import (
+    LintFinding,
+    default_lint_target,
+    lint_file,
+    lint_paths,
+)
+
+
+def _lint_source(tmp_path, source, name="sample.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path)
+
+
+def _rules(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestLintRandom:
+    def test_module_level_random_call_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import random
+
+            def pick():
+                return random.randrange(4)
+        """)
+        assert _rules(findings) == ["LINT-RANDOM"]
+        assert findings[0].line == 5
+        assert "random.randrange" in findings[0].message
+
+    def test_seeded_instance_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import random
+
+            class Policy:
+                def __init__(self, seed):
+                    self.rng = random.Random(seed)
+
+                def pick(self):
+                    return self.rng.randrange(4)
+        """)
+        assert findings == []
+
+    def test_system_random_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import random
+            gen = random.SystemRandom()
+        """)
+        assert findings == []
+
+
+class TestLintSetIteration:
+    def test_scoped_to_core_and_rename(self, tmp_path):
+        source = """
+            ready = {1, 2, 3}
+            for uop in ready:
+                pass
+        """
+        for scope in ("core", "rename"):
+            scoped_dir = tmp_path / scope
+            scoped_dir.mkdir()
+            findings = _lint_source(scoped_dir, source)
+            assert _rules(findings) == ["LINT-SET-ITER"]
+        # Outside the hot determinism scopes the rule stays silent.
+        assert _lint_source(tmp_path, source) == []
+
+    def test_set_display_and_comprehension_iteration(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        findings = _lint_source(scoped, """
+            values = [x for x in {3, 1, 2}]
+        """)
+        assert _rules(findings) == ["LINT-SET-ITER"]
+
+    def test_annotated_set_name_tracked(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        findings = _lint_source(scoped, """
+            from typing import Set
+
+            pending: Set[int] = set()
+            for entry in pending:
+                pass
+        """)
+        assert _rules(findings) == ["LINT-SET-ITER"]
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        findings = _lint_source(scoped, """
+            pending = {3, 1, 2}
+            for entry in sorted(pending):
+                pass
+        """)
+        assert findings == []
+
+
+class TestLintPrivatePoke:
+    def test_underscore_attribute_of_rename_object(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def peek(renamer):
+                return renamer._staging
+        """)
+        assert _rules(findings) == ["LINT-PRIVATE-POKE"]
+
+    def test_self_map_table_poke(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            class Checker:
+                def snoop(self):
+                    return self.map_table._entries
+        """)
+        # `self.map_table` has terminal key part `map_table`.
+        assert "LINT-PRIVATE-POKE" in _rules(findings)
+
+    def test_private_import_from_rename(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from repro.rename.registerclass import _RegisterClass
+        """)
+        assert _rules(findings) == ["LINT-PRIVATE-POKE"]
+
+    def test_rename_package_is_exempt(self, tmp_path):
+        scoped = tmp_path / "rename"
+        scoped.mkdir()
+        findings = _lint_source(scoped, """
+            def peek(renamer):
+                return renamer._staging
+        """)
+        assert findings == []
+
+    def test_public_api_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def peek(renamer):
+                return renamer.free_registers(0)
+        """)
+        assert findings == []
+
+
+class TestLintMutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "list()",
+                                         "dict(a=1)"])
+    def test_mutable_defaults_flagged(self, tmp_path, default):
+        findings = _lint_source(tmp_path, f"""
+            def f(x={default}):
+                return x
+        """)
+        assert _rules(findings) == ["LINT-MUTABLE-DEFAULT"]
+        assert "f()" in findings[0].message
+
+    def test_keyword_only_default_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def f(*, cache=[]):
+                return cache
+        """)
+        assert _rules(findings) == ["LINT-MUTABLE-DEFAULT"]
+
+    def test_none_default_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def f(x=None, y=0, z=(1, 2)):
+                return x, y, z
+        """)
+        assert findings == []
+
+
+class TestLintPaths:
+    def test_directory_walk_sorted_output(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\nrandom.random()\n",
+                                       encoding="utf-8")
+        (tmp_path / "a.py").write_text("def f(x=[]):\n    return x\n",
+                                       encoding="utf-8")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["LINT-MUTABLE-DEFAULT",
+                                              "LINT-RANDOM"]
+        assert findings[0].path.endswith("a.py")
+
+    def test_finding_str_is_greppable(self):
+        finding = LintFinding("src/x.py", 7, "LINT-RANDOM", "boom")
+        assert str(finding) == "src/x.py:7: LINT-RANDOM: boom"
+
+
+class TestRepositoryIsClean:
+    def test_simulator_sources_lint_clean(self):
+        findings = lint_paths([default_lint_target()])
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -114,3 +114,18 @@ class TestSimulationStats:
         for cluster in sequence:
             stats.record_allocation(cluster, False)
         assert stats.unbalancing_degree == unbalancing_degree(sequence)
+
+
+class TestRunMetadata:
+    def test_metadata_survives_measurement_reset(self):
+        stats = SimulationStats(4)
+        stats.record_run_metadata("random_commutative", 12345)
+        stats.reset_measurement()
+        assert stats.allocation_policy == "random_commutative"
+        assert stats.allocation_seed == 12345
+
+    def test_summary_reports_allocation_seed(self):
+        stats = SimulationStats(4)
+        stats.record_run_metadata("round_robin", 7)
+        summary = stats.summary()
+        assert summary["allocation_seed"] == 7

@@ -1,0 +1,147 @@
+"""Static configuration rules (repro.verify.rules)."""
+
+import pytest
+
+from repro.config import (
+    DEADLOCK_MOVES,
+    DEADLOCK_NONE,
+    baseline_rr_256,
+    figure4_configs,
+    two_cluster_4way,
+    wsrs_rc,
+    wsrs_seven_cluster,
+)
+from repro.errors import VerificationError
+from repro.verify.rules import (
+    Rule,
+    RuleViolation,
+    all_rules,
+    check_config,
+    rule,
+    verify_config,
+)
+
+EXPECTED_RULE_IDS = [
+    "CFG-DEADLOCK-PROOF",
+    "CFG-PORT-ARITHMETIC",
+    "CFG-READ-CONNECTIVITY",
+    "CFG-WRITE-PARTITION",
+]
+
+
+class TestRegistry:
+    def test_all_rules_sorted_by_id(self):
+        assert [r.rule_id for r in all_rules()] == EXPECTED_RULE_IDS
+
+    def test_rules_carry_titles(self):
+        for registered in all_rules():
+            assert isinstance(registered, Rule)
+            assert registered.title
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @rule("CFG-WRITE-PARTITION", "clash")
+            def _clash(config):
+                return iter(())
+
+
+class TestPaperConfigsAreClean:
+    @pytest.mark.parametrize(
+        "config",
+        list(figure4_configs()) + [two_cluster_4way(),
+                                   wsrs_seven_cluster()],
+        ids=lambda c: c.name)
+    def test_no_violations(self, config):
+        assert check_config(config) == []
+        verify_config(config)  # must not raise
+
+
+class TestDeadlockProof:
+    def test_borderline_subset_size_flagged(self):
+        # subset_size == logical passes MachineConfig.validate (it only
+        # rejects subset < logical) but is exactly the reachable deadlock
+        # borderline of section 2.3: the rule demands >= logical + 1
+        # before accepting deadlock_policy="none".
+        config = wsrs_rc(512).with_changes(
+            int_physical_registers=320, deadlock_policy=DEADLOCK_NONE)
+        violations = check_config(config)
+        assert [v.rule for v in violations] == ["CFG-DEADLOCK-PROOF"]
+        assert "80" in violations[0].message
+
+    def test_explicit_policy_waives_the_proof(self):
+        config = wsrs_rc(512).with_changes(
+            int_physical_registers=320, deadlock_policy=DEADLOCK_MOVES)
+        assert check_config(config) == []
+
+    def test_monolithic_file_never_flagged(self):
+        # A conventional file deadlocks only if physical <= logical, which
+        # validate already rejects; the factory default must stay clean.
+        assert check_config(baseline_rr_256()) == []
+
+
+class TestFieldValidationGate:
+    def test_invalid_config_reported_as_cfg_field(self):
+        # subset (64) < logical (80) with policy "none" fails validate;
+        # the structural rules are skipped since their premises are void.
+        config = wsrs_rc(512).with_changes(int_physical_registers=256)
+        violations = check_config(config)
+        assert len(violations) == 1
+        assert violations[0].rule == "CFG-FIELD"
+
+    def test_verify_config_raises_with_rule_ids(self):
+        config = wsrs_rc(512).with_changes(
+            int_physical_registers=320, deadlock_policy=DEADLOCK_NONE)
+        with pytest.raises(VerificationError,
+                           match="CFG-DEADLOCK-PROOF"):
+            verify_config(config)
+
+
+def _rule_messages(rule_id, config):
+    registered = {r.rule_id: r for r in all_rules()}[rule_id]
+    return list(registered.func(config))
+
+
+class TestIndividualRules:
+    """Exercise rule bodies directly on configs that field validation
+    would reject, so the negative branches stay covered."""
+
+    def test_write_partition_rejects_uneven_split(self):
+        config = wsrs_rc(512).with_changes(int_physical_registers=510)
+        messages = _rule_messages("CFG-WRITE-PARTITION", config)
+        assert any("does not split" in m for m in messages)
+
+    def test_write_partition_rejects_subsets_without_ws(self):
+        config = baseline_rr_256().with_changes(specialization="wsrs")
+        # Force the mismatch through the raw rule: a 3-cluster WSRS
+        # machine would need 3 subsets.
+        broken = config.with_changes(num_clusters=3,
+                                     allocation_policy="mapped_random",
+                                     int_physical_registers=255,
+                                     fp_physical_registers=255)
+        assert _rule_messages("CFG-WRITE-PARTITION", broken) == []
+        monolith = baseline_rr_256()
+        assert _rule_messages("CFG-WRITE-PARTITION", monolith) == []
+
+    def test_read_connectivity_silent_without_rs(self):
+        assert _rule_messages("CFG-READ-CONNECTIVITY",
+                              baseline_rr_256()) == []
+
+    def test_read_connectivity_four_cluster_width(self):
+        assert _rule_messages("CFG-READ-CONNECTIVITY", wsrs_rc(512)) == []
+
+    def test_port_arithmetic_on_paper_machines(self):
+        assert _rule_messages("CFG-PORT-ARITHMETIC", wsrs_rc(512)) == []
+        assert _rule_messages("CFG-PORT-ARITHMETIC",
+                              baseline_rr_256()) == []
+
+    def test_port_arithmetic_tolerates_odd_clusters(self):
+        # The 7-cluster extension falls outside the paper's pair-based
+        # bus formula; the mapping is the ground truth there.
+        assert _rule_messages("CFG-PORT-ARITHMETIC",
+                              wsrs_seven_cluster()) == []
+
+
+class TestRuleViolation:
+    def test_str_carries_rule_id(self):
+        violation = RuleViolation("CFG-TEST", "something broke")
+        assert str(violation) == "[CFG-TEST] something broke"
