@@ -13,6 +13,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs microbench                # run the assembly kernels
     wsrs savetrace gzip out.trace  # freeze a workload to a file
     wsrs throughput                # sweep throughput -> BENCH_throughput.json
+    wsrs profile [--quick]         # core-loop profile -> BENCH_core.json
     wsrs lint                      # determinism/API lint over src/repro
     wsrs verify                    # static WS/RS invariant rules per config
 
@@ -102,7 +103,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = config_by_name(args.config)
     spec = RunSpec(config=config, benchmark=args.benchmark,
                    measure=args.measure, warmup=args.warmup,
-                   seed=args.seed, sanitize=args.sanitize)
+                   seed=args.seed, sanitize=args.sanitize,
+                   check_invariants=args.paranoid,
+                   fast_path=not args.reference)
     result = execute(spec)
     stats = result.stats
     print(f"benchmark        {args.benchmark}")
@@ -172,6 +175,15 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
                    warmup=args.warmup, seed=args.seed,
                    workers=args.workers, out=args.out)
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments import profile
+
+    benchmark = args.benchmark or profile.DEFAULT_BENCHMARK
+    record = profile.run(benchmark=benchmark, seed=args.seed,
+                         quick=args.quick, out=args.out)
+    return 0 if record["identical"] else 1
 
 
 def _cmd_microbench(args: argparse.Namespace) -> int:
@@ -279,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--sanitize", action="store_true",
                     help="run the cycle-level pipeline sanitizer "
                          "(repro.verify) alongside the simulation")
+    ps.add_argument("--paranoid", action="store_true",
+                    help="enable per-uop read-legality assertions "
+                         "(check_invariants; off by default)")
+    ps.add_argument("--reference", action="store_true",
+                    help="force the reference per-cycle stepper instead "
+                         "of the event-horizon fast path")
     _add_slice_arguments(ps)
     ps.set_defaults(func=_cmd_simulate)
 
@@ -303,6 +321,21 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--out", default="BENCH_throughput.json",
                     help="JSON record path")
     pp.set_defaults(func=_cmd_throughput)
+
+    pc = sub.add_parser(
+        "profile",
+        help="profile the core loop (reference vs event-horizon), "
+             "write BENCH_core.json")
+    pc.add_argument("--benchmark", default=None,
+                    choices=sorted(PROFILES),
+                    help="trace to profile on (default: mcf, the most "
+                         "stall-dominated workload)")
+    pc.add_argument("--quick", action="store_true",
+                    help="short slices for the CI perf-smoke job")
+    pc.add_argument("--seed", type=int, default=1)
+    pc.add_argument("--out", default="BENCH_core.json",
+                    help="JSON record path")
+    pc.set_defaults(func=_cmd_profile)
 
     pm = sub.add_parser("microbench", help="run the assembly kernels")
     pm.add_argument("--config", default="RR 256",

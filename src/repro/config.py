@@ -398,18 +398,20 @@ def two_cluster_4way(**overrides) -> MachineConfig:
     return config.with_changes(**overrides) if overrides else config
 
 
-def wsrs_seven_cluster(int_registers: int = 560,
+def wsrs_seven_cluster(int_registers: int = 567,
                        **overrides) -> MachineConfig:
     """The 7-cluster WSRS machine of the companion report [15].
 
     Seven identical 2-way clusters (a 14-way machine) with the Fano-plane
     read-specialization mapping of :mod:`repro.extensions.general_wsrs`.
     Register totals must split into 7 subsets; the defaults give each
-    subset exactly the 80 architected integer registers - the borderline
-    of the section 2.3 sizing rule (deadlock is provably impossible only
-    with strictly *more* registers per subset than architected ones), so
-    the factory selects the ``moves`` workaround rather than claiming
-    deadlock freedom.
+    subset 81 integer registers - one past the 80 architected ones, the
+    minimum satisfying the section 2.3 sizing rule (deadlock is provably
+    impossible only with strictly *more* registers per subset than
+    architected ones), so ``CFG-DEADLOCK-PROOF`` applies and no runtime
+    deadlock workaround is needed.  Totals at or below the borderline
+    (e.g. the 560 the report's area budget suggests) remain expressible
+    via ``int_registers=`` plus ``deadlock_policy="moves"``.
     """
     if int_registers % 7:
         raise ConfigError("7-cluster register total must split 7 ways")
@@ -421,7 +423,6 @@ def wsrs_seven_cluster(int_registers: int = 560,
         rob_size=392,  # 7 x 56
         specialization=SPECIALIZATION_WSRS,
         allocation_policy="mapped_random",
-        deadlock_policy=DEADLOCK_MOVES,
         int_physical_registers=int_registers,
         fp_physical_registers=280,
         mispredict_penalty=18,

@@ -52,12 +52,40 @@ class ClusterScheduler:
         heapq.heappush(self._pending, (earliest_cycle, uop.seq, uop))
 
     def wake(self, cycle: int) -> None:
-        """Move every entry woken by ``cycle`` to the ready heap."""
+        """Move every entry woken by ``cycle`` to the ready heap.
+
+        Drains in bulk: woken entries are collected first and the ready
+        heap is rebuilt with one :func:`heapq.heapify` instead of one
+        sift per entry (selection order is unaffected - the heap only
+        guarantees that pops come out in ``seq`` order, which holds for
+        any internal arrangement).
+        """
         pending = self._pending
+        if not pending or pending[0][0] > cycle:
+            return
         ready = self._ready
+        woken: List[Tuple[int, InFlightUop]] = []
         while pending and pending[0][0] <= cycle:
             _, seq, uop = heapq.heappop(pending)
-            heapq.heappush(ready, (seq, uop))
+            woken.append((seq, uop))
+        if len(woken) == 1:
+            heapq.heappush(ready, woken[0])
+        else:
+            ready.extend(woken)
+            heapq.heapify(ready)
+
+    def next_wake_cycle(self) -> Optional[int]:
+        """Earliest wake-up cycle among pending entries (None if empty).
+
+        Ready entries are *already* woken; callers deciding whether a
+        cycle can be skipped must also consult :attr:`has_ready`.
+        """
+        return self._pending[0][0] if self._pending else None
+
+    @property
+    def has_ready(self) -> bool:
+        """Whether any woken micro-op is competing for selection."""
+        return bool(self._ready)
 
     # -- select -----------------------------------------------------------
 

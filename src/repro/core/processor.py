@@ -27,6 +27,17 @@ Wrong-path instructions are not simulated: a mispredicted branch stops
 instruction delivery until ``resolution_cycle + minimum_penalty``, which is
 the paper's own level of abstraction for the front end.
 
+The main loop has two gears.  The reference stepper (:meth:`Processor.step`)
+advances one cycle at a time; the *event-horizon* fast path
+(``fast_path=True``, the default) detects cycles where the machine provably
+does nothing - commit idle, no scheduler entry awake, rename stalled on a
+branch-penalty window, a full ROB/cluster, or an exhausted trace - and
+jumps ``cycle`` straight to the next event (earliest scheduler wake-up, the
+ROB head's completion, the rename-unblock cycle, a multiply/divide unit
+release), bulk-charging the per-cycle stall counters for the skipped range.
+Every statistic is bit-identical to the reference stepper; see
+``docs/architecture.md`` ("Performance") for the argument.
+
 Typical use::
 
     from repro.config import wsrs_rc
@@ -53,10 +64,17 @@ from repro.errors import ConfigError, ReproError
 from repro.frontend.fetch import FrontEnd
 from repro.frontend.predictors import BranchPredictor, make_predictor
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.trace.model import OpClass, TraceInstruction
+from repro.trace.model import FP_CLASSES, OpClass, TraceInstruction
 
-#: Abort if the machine makes no forward progress for this many cycles.
+#: Abort if the machine makes no forward progress for this many pipeline
+#: events (steps or event-horizon jumps; a reference-stepper event is one
+#: cycle, so the threshold is unchanged for the per-cycle core).
 _PROGRESS_LIMIT = 100_000
+
+#: Horizon sentinel: any candidate event at or beyond this cycle is "never"
+#: (matches the :data:`UNKNOWN_CYCLE` result-cycle sentinel of unissued
+#: micro-ops so unissued ROB heads drop out of the min naturally).
+_NO_EVENT = UNKNOWN_CYCLE
 
 
 class DeadlockedPipeline(ReproError):
@@ -73,10 +91,21 @@ class Processor:
         predictor: Optional[BranchPredictor] = None,
         check_invariants: bool = True,
         sanitize: Optional[bool] = None,
+        fast_path: bool = True,
     ) -> None:
         config.validate()
         self.config = config
         self.check_invariants = check_invariants
+        # Implementation-1 renaming stages/recycles registers every cycle
+        # even when nothing renames, so its free-list state is not
+        # invariant across a dead-cycle window: the event horizon only
+        # engages for the cycle-invariant implementation 2.
+        self.fast_path = fast_path and config.rename_impl != 1
+        #: Event-horizon instrumentation (diagnostics only - deliberately
+        #: not part of :class:`SimulationStats`, whose counters stay
+        #: bit-identical between the two cores).
+        self.horizon_jumps = 0
+        self.horizon_cycles_skipped = 0
 
         self.frontend = FrontEnd(
             trace, predictor or make_predictor("2bcgskew"))
@@ -120,6 +149,18 @@ class Processor:
         self._muldiv_busy_until = [0] * config.num_clusters
         self._muldiv_used_now: set = set()
         self._latencies = dict(config.latencies)
+        # forward_delay, precomputed into a num_clusters x num_clusters
+        # table (row = producer cluster): the wake-up and bypass hot
+        # loops index it instead of re-deriving the policy per operand.
+        self._forward_table: List[List[int]] = [
+            [config.forward_delay(producer, consumer)
+             for consumer in range(config.num_clusters)]
+            for producer in range(config.num_clusters)
+        ]
+        # Whether the multiply/divide veto of _veto applies at all (it is
+        # a no-op for private pipelined units).
+        self._muldiv_vetoed = (not config.pipelined_muldiv
+                               or config.shared_muldiv)
         self._wsrs_mapping = None
         if config.uses_read_specialization:
             from repro.extensions.general_wsrs import make_mapping
@@ -164,19 +205,29 @@ class Processor:
         return self.stats
 
     def _run_until(self, committed_target: int) -> None:
-        last_progress_cycle = self.cycle
+        # Forward progress is measured in pipeline *events* (steps or
+        # jumps), not raw cycles: one event-horizon jump can legally
+        # advance the clock by hundreds of cycles (an L2 miss under a
+        # full ROB), which a raw-cycle watchdog would misread as a hang.
+        # On the reference stepper every event is one cycle, so the
+        # threshold is exactly the historical cycle-based one.
+        idle_events = 0
         last_committed = self.stats.committed
+        fast = self.fast_path
         while self.stats.committed < committed_target:
             if self.frontend.exhausted and not self._rob:
                 break
-            self.step()
+            if not (fast and self._try_jump()):
+                self.step()
             if self.stats.committed != last_committed:
                 last_committed = self.stats.committed
-                last_progress_cycle = self.cycle
-            elif self.cycle - last_progress_cycle > _PROGRESS_LIMIT:
-                raise DeadlockedPipeline(
-                    f"no instruction committed for {_PROGRESS_LIMIT} "
-                    f"cycles at cycle {self.cycle}")
+                idle_events = 0
+            else:
+                idle_events += 1
+                if idle_events > _PROGRESS_LIMIT:
+                    raise DeadlockedPipeline(
+                        f"no instruction committed for {idle_events} "
+                        f"pipeline events at cycle {self.cycle}")
 
     def step(self) -> None:
         """Advance the machine by one cycle."""
@@ -190,6 +241,153 @@ class Processor:
             self.sanitizer.on_cycle_end(cycle)
         self.stats.cycles += 1
         self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # event-horizon fast path
+    # ------------------------------------------------------------------
+
+    def _try_jump(self) -> bool:
+        """Skip ahead to the next event when this cycle provably idles.
+
+        A cycle is *dead* when every stage is a no-op apart from charging
+        one stall counter: nothing commits (ROB empty or head incomplete),
+        no scheduler entry wakes or can issue (entries already awake are
+        tolerated when they are provably vetoed for the whole window),
+        and rename is stalled for a reason that cannot clear before an
+        event - a branch-penalty window, a full ROB, a full cluster (with
+        the allocation decision already drawn), or an exhausted trace.  The machine state is then
+        frozen until the *event horizon*: the earliest of the schedulers'
+        next wake-ups, the ROB head's completion, the rename-unblock
+        cycle and the multiply/divide unit releases.  Jumping there in
+        one step and bulk-charging ``skipped`` cycles of the same stall
+        counter reproduces the reference stepper's statistics bit for
+        bit.
+
+        Returns True when a jump happened (the caller skips ``step()``).
+        Cycles whose rename outcome depends on mutable machinery - an
+        allocation decision still to be drawn (an RNG consumer), a
+        ``can_rename`` consultation (which may inject deadlock moves), or
+        outstanding move debt - are never skipped.
+        """
+        cycle = self.cycle
+        rob = self._rob
+        if rob and rob[0].result_cycle <= cycle:
+            return False  # commit work this cycle
+        if self._move_debt:
+            return False  # debt settling mutates counters cycle by cycle
+        wake = _NO_EVENT
+        for scheduler in self.schedulers:
+            when = scheduler.next_wake_cycle()
+            if when is not None:
+                if when <= cycle:
+                    return False  # wake-up work this cycle
+                if when < wake:
+                    wake = when
+        config = self.config
+        stats = self.stats
+
+        # Mirror _rename_and_dispatch's stall priority exactly, including
+        # its fetch behaviour: the branch/ROB stalls return before peek(),
+        # so the detector must not fetch in those states either.
+        if self._waiting_branch is not None \
+                or cycle < self._rename_blocked_until:
+            stall = "branch"
+        elif len(rob) >= config.rob_size:
+            stall = "rob"
+        else:
+            fetched = self.frontend.peek()  # the fetch rename would do
+            if fetched is None:
+                if not rob:
+                    # End-of-trace drain complete: this is termination,
+                    # not a dead window - step once so the run loop sees
+                    # the exhausted front end and stops.
+                    return False
+                stall = "exhausted"
+            elif self._pending_decision is None:
+                return False  # allocation decision (RNG) due this cycle
+            elif (self.schedulers[self._pending_decision[0]].inflight
+                  >= config.cluster.max_inflight):
+                stall = "cluster"
+            else:
+                return False  # rename can proceed (or consults can_rename)
+
+        # Ready (already-woken) entries only force a live cycle when one
+        # of them can actually issue.  A memory operation that is not the
+        # next in memory program order is vetoed by the in-order
+        # address-computation rule, and since nothing issues during a
+        # dead window, ``issued_memory_ops`` is frozen and the veto holds
+        # for every skipped cycle.  Likewise a multiply/divide whose unit
+        # is busy stays vetoed until the release cycle, which is already
+        # an event-horizon candidate.  Both vetoes are side-effect-free
+        # while they reject (_veto only claims a unit when it *passes*),
+        # so the reference stepper's select over the skipped range
+        # mutates nothing but the internal heap arrangement.
+        mem_next = self.memorder.issued_memory_ops
+        muldiv_vetoed = self._muldiv_vetoed
+        busy_until = self._muldiv_busy_until
+        for scheduler in self.schedulers:
+            ready = scheduler._ready
+            if not ready:
+                continue
+            lsus = scheduler.num_lsus
+            fpus = scheduler.num_fpus
+            alus = scheduler.num_alus
+            for _seq, uop in ready:
+                if uop.mem_index >= 0:
+                    if lsus and uop.mem_index == mem_next:
+                        return False  # head of memory order: issuable
+                elif uop.inst.op in FP_CLASSES:
+                    if fpus:
+                        return False  # an FP unit will take it
+                elif alus:
+                    if muldiv_vetoed and uop.inst.op is OpClass.IMULDIV:
+                        if busy_until[self._muldiv_unit(uop.cluster)] \
+                                <= cycle:
+                            return False  # unit free: issuable
+                        # Busy unit: vetoed until release (in horizon).
+                    else:
+                        return False  # plain ALU op: issuable
+
+        horizon = wake
+        if rob and rob[0].result_cycle < horizon:
+            horizon = rob[0].result_cycle
+        if cycle < self._rename_blocked_until < horizon:
+            horizon = self._rename_blocked_until
+        for busy in self._muldiv_busy_until:
+            if cycle < busy < horizon:
+                horizon = busy
+        if horizon >= _NO_EVENT:
+            # Nothing in flight will ever wake, complete or unblock: the
+            # reference stepper would spin _PROGRESS_LIMIT dead cycles
+            # and then raise; the fast path can prove it immediately.
+            raise DeadlockedPipeline(
+                f"event horizon found no future event at cycle {cycle} "
+                f"(rename stalled on {stall}, nothing in flight can "
+                f"wake or commit)")
+
+        skipped = horizon - cycle
+        if skipped > _PROGRESS_LIMIT:
+            # The reference stepper would burn its whole progress budget
+            # inside this window and give up; mirror its guard rather
+            # than leaping a wedged machine.
+            raise DeadlockedPipeline(
+                f"no commit possible for {skipped} cycles at cycle "
+                f"{cycle} (rename stalled on {stall} until the event "
+                f"horizon at {horizon})")
+        width = config.front_width
+        if stall == "branch":
+            stats.stall_branch_penalty += width * skipped
+        elif stall == "rob":
+            stats.stall_rob_full += width * skipped
+        elif stall == "cluster":
+            stats.stall_cluster_full += width * skipped
+        if self.sanitizer is not None:
+            self.sanitizer.on_cycle_skip(cycle, horizon)
+        stats.cycles += skipped
+        self.cycle = horizon
+        self.horizon_jumps += 1
+        self.horizon_cycles_skipped += skipped
+        return True
 
     # ------------------------------------------------------------------
     # commit
@@ -308,15 +506,13 @@ class Processor:
             waiters = self._reg_waiters.pop(pdest, None)
             if waiters:
                 producer_cluster = uop.cluster
-                forward_delay = self.config.forward_delay
+                delay_row = self._forward_table[producer_cluster]
                 for waiter in waiters:
                     if waiter.cluster == producer_cluster:
                         stats.bypass_edges_intra += 1
                     else:
                         stats.bypass_edges_inter += 1
-                    usable = (result_cycle
-                              + forward_delay(producer_cluster,
-                                              waiter.cluster))
+                    usable = result_cycle + delay_row[waiter.cluster]
                     if usable > waiter.earliest_issue:
                         waiter.earliest_issue = usable
                     waiter.waiting_operands -= 1
@@ -435,7 +631,8 @@ class Processor:
         """Fill in the earliest issue cycle or register operand waiters."""
         reg_result = self._reg_result
         reg_cluster = self._reg_cluster
-        forward_delay = self.config.forward_delay
+        forward_table = self._forward_table
+        consumer = uop.cluster
         earliest = cycle + 1
         waiting = 0
         for psrc in (uop.psrc1, uop.psrc2):
@@ -446,8 +643,8 @@ class Processor:
                 waiting += 1
                 self._reg_waiters.setdefault(psrc, []).append(uop)
             else:
-                usable = result_cycle + forward_delay(reg_cluster[psrc],
-                                                      uop.cluster)
+                usable = (result_cycle
+                          + forward_table[reg_cluster[psrc]][consumer])
                 if usable > earliest:
                     earliest = usable
         uop.earliest_issue = earliest
@@ -512,9 +709,10 @@ def simulate(
     predictor: Optional[BranchPredictor] = None,
     check_invariants: bool = True,
     sanitize: Optional[bool] = None,
+    fast_path: bool = True,
 ) -> SimulationStats:
     """One-call convenience wrapper around :class:`Processor`."""
     processor = Processor(config, trace, predictor=predictor,
                           check_invariants=check_invariants,
-                          sanitize=sanitize)
+                          sanitize=sanitize, fast_path=fast_path)
     return processor.run(measure=measure, warmup=warmup)

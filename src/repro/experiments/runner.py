@@ -63,11 +63,19 @@ class RunSpec:
     warmup: int = DEFAULT_WARMUP
     seed: int = 1
     predictor: str = "2bcgskew"
-    check_invariants: bool = True
+    #: Per-uop read-legality assertions in the renamer.  Off by default
+    #: in sweep cells - they are pure overhead there, and legality stays
+    #: covered by the sanitized CI smoke; ``wsrs simulate --paranoid``
+    #: turns them back on for one-off runs.
+    check_invariants: bool = False
     #: Run under the cycle-level pipeline sanitizer
     #: (:mod:`repro.verify.sanitizer`).  ``False`` still honours the
     #: ``WSRS_SANITIZE`` environment switch in the worker process.
     sanitize: bool = False
+    #: Use the event-horizon fast path (bit-identical statistics; see
+    #: :mod:`repro.core.processor`).  ``False`` forces the reference
+    #: per-cycle stepper.
+    fast_path: bool = True
 
     @property
     def trace_length(self) -> int:
@@ -97,7 +105,8 @@ def execute(spec: RunSpec) -> RunResult:
     processor = Processor(spec.config, trace,
                           predictor=make_predictor(spec.predictor),
                           check_invariants=spec.check_invariants,
-                          sanitize=True if spec.sanitize else None)
+                          sanitize=True if spec.sanitize else None,
+                          fast_path=spec.fast_path)
     stats = processor.run(measure=spec.measure, warmup=spec.warmup)
     return RunResult(spec=spec, stats=stats)
 

@@ -295,6 +295,23 @@ class PipelineSanitizer:
     def on_cycle_end(self, cycle: int) -> None:
         """Reconcile shadow free counts against the renamer's free lists."""
         self.checks += 1
+        self._reconcile(cycle)
+
+    def on_cycle_skip(self, first_cycle: int, next_cycle: int) -> None:
+        """Jump-aware variant of :meth:`on_cycle_end` for the event
+        horizon: the processor skipped cycles ``[first_cycle,
+        next_cycle)`` in one jump.
+
+        No dispatch/issue/commit/rename event occurs inside a skipped
+        range, so the register lifecycle is frozen and one reconciliation
+        witnesses exactly what per-cycle checks over the whole range
+        would; ``checks`` still advances by the number of cycles covered
+        so the work accounting matches the reference stepper.
+        """
+        self.checks += next_cycle - first_cycle
+        self._reconcile(next_cycle - 1)
+
+    def _reconcile(self, cycle: int) -> None:
         if self.renamer.deadlock_moves != self._seen_moves:
             self._resync_architected()
         renamer = self.renamer

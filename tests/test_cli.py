@@ -36,6 +36,26 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "gzip"])
         assert args.sanitize is False
 
+    def test_simulate_paranoid_and_reference_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "gzip", "--paranoid", "--reference"])
+        assert args.paranoid is True
+        assert args.reference is True
+        args = build_parser().parse_args(["simulate", "gzip"])
+        assert args.paranoid is False
+        assert args.reference is False
+
+    def test_profile_arguments(self):
+        args = build_parser().parse_args(
+            ["profile", "--quick", "--benchmark", "gcc",
+             "--out", "custom.json"])
+        assert args.quick is True
+        assert args.benchmark == "gcc"
+        assert args.out == "custom.json"
+        args = build_parser().parse_args(["profile"])
+        assert args.quick is False
+        assert args.benchmark is None  # resolves to the mcf default
+
     def test_lint_and_verify_commands(self):
         assert build_parser().parse_args(["lint"]).command == "lint"
         args = build_parser().parse_args(["verify", "--config", "RR 256"])
@@ -95,3 +115,28 @@ class TestCommands:
                      "--sanitize", "--measure", "1500", "--warmup", "500"])
         assert code == 0
         assert "IPC" in capsys.readouterr().out
+
+    def test_simulate_reference_gear_matches_fast_path(self, capsys):
+        argv = ["simulate", "vpr", "--config", "RR 256",
+                "--measure", "1500", "--warmup", "500"]
+        assert main(argv + ["--reference", "--paranoid"]) == 0
+        reference = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_profile_quick_writes_record(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_core.json"
+        code = main(["profile", "--quick", "--benchmark", "gzip",
+                     "--out", str(out)])
+        assert code == 0
+        record = json.loads(out.read_text(encoding="utf-8"))
+        assert record["identical"] is True
+        assert len(record["cells"]) == 6
+        for cell in record["cells"]:
+            assert cell["identical"] is True
+            assert cell["event_horizon_kips"] > 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "DIVERGED" not in output

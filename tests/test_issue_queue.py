@@ -99,6 +99,69 @@ class TestVeto:
         assert [u.seq for u in sched.select(2)] == [0]
 
 
+class TestNextWakeCycle:
+    def test_empty_queues(self):
+        sched = scheduler()
+        assert sched.next_wake_cycle() is None
+        assert not sched.has_ready
+
+    def test_earliest_pending_entry(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0), 7)
+        sched.enqueue(make_uop(1), 3)
+        assert sched.next_wake_cycle() == 3
+
+    def test_ready_entries_are_not_pending(self):
+        # Already-woken entries must not look like a future wake-up:
+        # callers combine next_wake_cycle() with has_ready.
+        sched = scheduler()
+        sched.enqueue(make_uop(0), 1)
+        sched.wake(1)
+        assert sched.next_wake_cycle() is None
+        assert sched.has_ready
+
+    def test_mixed_pending_and_ready(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(0), 1)
+        sched.enqueue(make_uop(1), 9)
+        sched.wake(1)
+        assert sched.next_wake_cycle() == 9
+        assert sched.has_ready
+
+    def test_bulk_wake_preserves_age_order(self):
+        sched = scheduler(width=8, alus=8)
+        for seq in (6, 1, 4, 0, 3):
+            sched.enqueue(make_uop(seq), 2)
+        sched.enqueue(make_uop(9), 10)  # stays pending
+        picked = sched.select(2)
+        assert [u.seq for u in picked] == [0, 1, 3, 4, 6]
+        assert sched.next_wake_cycle() == 10
+
+
+class TestRejectedAgeOrdering:
+    def test_rejected_uop_outranks_later_wakers(self):
+        # A load rejected by the single LSU at cycle 1 competes again at
+        # cycle 2 and must beat a younger load that only woke at cycle 2.
+        sched = scheduler()
+        sched.enqueue(make_uop(0, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(1, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(2, OpClass.LOAD), 2)
+        assert [u.seq for u in sched.select(1)] == [0]
+        assert [u.seq for u in sched.select(2)] == [1]
+        assert [u.seq for u in sched.select(3)] == [2]
+
+    def test_veto_rejection_keeps_age_across_many_cycles(self):
+        sched = scheduler()
+        sched.enqueue(make_uop(3, OpClass.LOAD), 1)
+        sched.enqueue(make_uop(7, OpClass.LOAD), 1)
+        for cycle in (1, 2, 3):
+            assert sched.select(cycle, veto=lambda u: True) == []
+        sched.enqueue(make_uop(5, OpClass.LOAD), 4)
+        assert [u.seq for u in sched.select(4)] == [3]
+        assert [u.seq for u in sched.select(5)] == [5]
+        assert [u.seq for u in sched.select(6)] == [7]
+
+
 class TestOccupancy:
     def test_queued_counts_pending_and_ready(self):
         sched = scheduler()

@@ -15,8 +15,23 @@ class TestConfig:
         config = wsrs_seven_cluster()
         config.validate()
         assert config.num_clusters == 7
-        assert config.int_subset_size == 80  # exactly the logical count
+        assert config.int_subset_size == 81  # one past the logical count
         assert config.allocation_policy == "mapped_random"
+
+    def test_default_sizing_is_deadlock_proof(self):
+        """81 > 80 architected per subset: no runtime workaround needed."""
+        from repro.config import DEADLOCK_NONE
+        from repro.verify.rules import check_config
+
+        config = wsrs_seven_cluster()
+        assert config.deadlock_policy == DEADLOCK_NONE
+        assert not check_config(config)
+
+    def test_borderline_sizing_still_expressible(self):
+        config = wsrs_seven_cluster(int_registers=560,
+                                    deadlock_policy="moves")
+        config.validate()
+        assert config.int_subset_size == 80
 
     def test_rejects_unsplittable_totals(self):
         with pytest.raises(ConfigError, match="split 7 ways"):

@@ -6,6 +6,14 @@ from repro.frontend.predictors import AlwaysTakenPredictor
 from repro.trace.model import OpClass, TraceInstruction
 
 
+def _inflight_muldiv(seq: int, cluster: int):
+    from repro.core.uop import InFlightUop
+
+    inst = TraceInstruction(OpClass.IMULDIV, dest=1, src1=20, src2=21)
+    return InFlightUop(seq, inst, cluster, False, None, None, 100 + seq,
+                       None, dispatch_cycle=0)
+
+
 def muldiv_trace(count: int):
     """Independent multiplies (distinct dests, shared ready sources)."""
     return [TraceInstruction(OpClass.IMULDIV, dest=1 + i % 16, src1=20,
@@ -45,6 +53,62 @@ class TestSharedDivider:
                     muldiv_trace(100))
         # 2 units x one 15-cycle op: ~2/15 IPC ceiling
         assert stats.ipc <= 2 / 15 + 0.02
+
+    def test_shared_pipelined_veto_claims_unit_per_cycle(self):
+        """shared+pipelined: one op per unit pair per cycle, via
+        _muldiv_used_now claiming inside the selection veto."""
+        processor = Processor(
+            baseline_rr_256(shared_muldiv=True), iter([]),
+            predictor=AlwaysTakenPredictor())
+        uops = [_inflight_muldiv(seq, cluster=seq)
+                for seq in range(4)]
+        processor._muldiv_used_now.clear()
+        # Clusters 0 and 1 share unit 0; clusters 2 and 3 share unit 1.
+        assert not processor._veto(uops[0])          # claims unit 0
+        assert processor._muldiv_used_now == {0}
+        assert processor._veto(uops[1])              # unit 0 taken
+        assert not processor._veto(uops[2])          # claims unit 1
+        assert processor._veto(uops[3])              # unit 1 taken
+        assert processor._muldiv_used_now == {0, 1}
+
+    def test_nonpipelined_private_veto_until_release(self):
+        """non-pipelined private units: busy-until vetoes later ops and
+        clears exactly at the release cycle."""
+        processor = Processor(
+            baseline_rr_256(pipelined_muldiv=False), iter([]),
+            predictor=AlwaysTakenPredictor())
+        processor._muldiv_busy_until[2] = 10
+        busy = _inflight_muldiv(0, cluster=2)
+        other = _inflight_muldiv(1, cluster=3)
+        processor.cycle = 9
+        processor._muldiv_used_now.clear()
+        assert processor._veto(busy)        # unit 2 busy through cycle 9
+        assert not processor._veto(other)   # private unit 3 is free
+        processor.cycle = 10
+        processor._muldiv_used_now.clear()
+        assert not processor._veto(busy)    # released this cycle
+
+    def test_nonpipelined_shared_combines_both_vetoes(self):
+        processor = Processor(
+            baseline_rr_256(pipelined_muldiv=False, shared_muldiv=True),
+            iter([]), predictor=AlwaysTakenPredictor())
+        processor.cycle = 5
+        processor._muldiv_used_now.clear()
+        first = _inflight_muldiv(0, cluster=0)
+        neighbour = _inflight_muldiv(1, cluster=1)  # same shared unit 0
+        assert not processor._veto(first)   # claims shared unit 0
+        assert processor._veto(neighbour)   # used-now claim blocks it
+        processor._muldiv_used_now.clear()  # next cycle's _issue clears
+        processor._muldiv_busy_until[0] = 20
+        assert processor._veto(neighbour)   # long-latency busy blocks it
+
+    def test_private_pipelined_veto_is_inert(self):
+        processor = Processor(baseline_rr_256(), iter([]),
+                              predictor=AlwaysTakenPredictor())
+        processor._muldiv_used_now.clear()
+        assert not processor._veto(_inflight_muldiv(0, cluster=0))
+        assert not processor._veto(_inflight_muldiv(1, cluster=0))
+        assert processor._muldiv_used_now == set()
 
     def test_sharing_is_harmless_without_muldiv(self):
         from repro.trace.profiles import spec_trace
