@@ -14,8 +14,11 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs savetrace gzip out.trace  # freeze a workload to a file
     wsrs throughput                # sweep throughput -> BENCH_throughput.json
     wsrs profile [--quick]         # core-loop profile -> BENCH_core.json
+    wsrs stacks                    # CPI stacks per (benchmark, config)
+    wsrs trace gzip --out t.jsonl.gz   # structured pipeline event trace
     wsrs lint                      # determinism/API lint over src/repro
     wsrs verify                    # static WS/RS invariant rules per config
+    wsrs docscheck                 # docs link/anchor + command freshness
 
 ``wsrs simulate --sanitize`` (or ``WSRS_SANITIZE=1`` for any command)
 runs the cycle-level pipeline sanitizer of :mod:`repro.verify.sanitizer`
@@ -105,7 +108,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                    measure=args.measure, warmup=args.warmup,
                    seed=args.seed, sanitize=args.sanitize,
                    check_invariants=args.paranoid,
-                   fast_path=not args.reference)
+                   fast_path=not args.reference,
+                   observe=args.observe)
     result = execute(spec)
     stats = result.stats
     print(f"benchmark        {args.benchmark}")
@@ -121,6 +125,75 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if key not in ("cycles", "committed", "ipc", "misprediction_rate",
                        "unbalancing_degree"):
             print(f"{key:<16s} {value}")
+    if result.obs is not None and stats.cycles:
+        causes = result.obs["causes"]
+        stack = "  ".join(
+            f"{cause}:{100.0 * cycles / stats.cycles:.1f}%"
+            for cause, cycles in causes.items() if cycles)
+        print(f"CPI stack        {stack}")
+    return 0
+
+
+def _cmd_stacks(args: argparse.Namespace) -> int:
+    from repro.obs import stacks
+
+    return stacks.run(benchmarks=args.benchmarks, measure=args.measure,
+                      warmup=args.warmup, seed=args.seed,
+                      workers=args.workers, out_md=args.out_md,
+                      out_json=args.out_json, quick=args.quick)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyzer import format_summary, summarize
+
+    if args.analyze is not None:
+        print(format_summary(summarize(args.analyze)))
+        return 0
+    if args.benchmark is None:
+        print("wsrs trace: a benchmark is required unless --analyze "
+              "is given", file=sys.stderr)
+        return 2
+    from repro.core.processor import Processor
+    from repro.frontend.predictors import make_predictor
+    from repro.obs.tracer import PipelineTracer
+    from repro.trace.cache import cached_spec_trace
+
+    config = config_by_name(args.config)
+    length = args.warmup + args.measure + 8_192
+    trace = cached_spec_trace(args.benchmark, length, seed=args.seed)
+    with PipelineTracer(args.out, start=args.trace_start,
+                        window=args.trace_window,
+                        every=args.trace_every) as tracer:
+        processor = Processor(config, trace,
+                              predictor=make_predictor("2bcgskew"),
+                              check_invariants=False,
+                              fast_path=not args.reference,
+                              tracer=tracer)
+        stats = processor.run(measure=args.measure, warmup=args.warmup)
+        tracer.close(stats)
+    print(f"wrote {tracer.events_written} events to {args.out}")
+    print(format_summary(summarize(args.out)))
+    return 0
+
+
+def _cmd_docscheck(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.verify.docscheck import check_paths, check_tree
+
+    root = Path(args.root).resolve()
+    if args.paths:
+        findings = check_paths([Path(p).resolve() for p in args.paths],
+                               root)
+    else:
+        findings = check_tree(root)
+    for finding in findings:
+        print(f"{finding.path}:{finding.line}: "
+              f"[{finding.kind}] {finding.message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("docscheck: clean")
     return 0
 
 
@@ -297,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--reference", action="store_true",
                     help="force the reference per-cycle stepper instead "
                          "of the event-horizon fast path")
+    ps.add_argument("--observe", action="store_true",
+                    help="attach the observability layer (repro.obs) and "
+                         "print the run's CPI stack; statistics stay "
+                         "bit-identical")
     _add_slice_arguments(ps)
     ps.set_defaults(func=_cmd_simulate)
 
@@ -337,6 +414,47 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON record path")
     pc.set_defaults(func=_cmd_profile)
 
+    pk = sub.add_parser(
+        "stacks",
+        help="CPI stacks per (benchmark, config): where the cycles go")
+    _add_slice_arguments(pk)
+    pk.set_defaults(measure=20_000, warmup=20_000)
+    pk.add_argument("--out-md", default=None, metavar="PATH",
+                    help="also write the markdown tables to PATH")
+    pk.add_argument("--out-json", default=None, metavar="PATH",
+                    help="also write the stacks as JSON to PATH")
+    pk.add_argument("--quick", action="store_true",
+                    help="CI gate: short slices, and verify that stacks "
+                         "sum to cycles, match across simulator gears, "
+                         "and leave statistics bit-identical")
+    pk.set_defaults(func=_cmd_stacks)
+
+    pe = sub.add_parser(
+        "trace",
+        help="record a structured JSONL pipeline event trace "
+             "(or --analyze an existing one)")
+    pe.add_argument("benchmark", nargs="?", default=None,
+                    choices=sorted(PROFILES))
+    pe.add_argument("--config", default="WSRS RC S 512",
+                    choices=[c.name for c in figure4_configs()])
+    pe.add_argument("--out", default="pipeline.jsonl.gz",
+                    help="trace path (.gz compresses transparently)")
+    pe.add_argument("--measure", type=int, default=20_000)
+    pe.add_argument("--warmup", type=int, default=0)
+    pe.add_argument("--seed", type=int, default=1)
+    pe.add_argument("--reference", action="store_true",
+                    help="trace under the reference per-cycle stepper")
+    pe.add_argument("--trace-start", type=int, default=0, metavar="CYCLE",
+                    help="first sampled cycle")
+    pe.add_argument("--trace-window", type=int, default=None, metavar="N",
+                    help="record N consecutive cycles per sample window")
+    pe.add_argument("--trace-every", type=int, default=None, metavar="N",
+                    help="repeat the sample window every N cycles")
+    pe.add_argument("--analyze", default=None, metavar="PATH",
+                    help="summarise an existing trace instead of "
+                         "simulating")
+    pe.set_defaults(func=_cmd_trace)
+
     pm = sub.add_parser("microbench", help="run the assembly kernels")
     pm.add_argument("--config", default="RR 256",
                     choices=[c.name for c in figure4_configs()])
@@ -353,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("--config", default=None,
                     help="check a single configuration by name")
     pw.set_defaults(func=_cmd_verify)
+
+    pd = sub.add_parser(
+        "docscheck",
+        help="check docs for dead links/anchors and stale CLI commands")
+    pd.add_argument("paths", nargs="*", default=[],
+                    help="markdown files (default: README.md + docs/*.md)")
+    pd.add_argument("--root", default=".",
+                    help="repository root for the default target set")
+    pd.set_defaults(func=_cmd_docscheck)
 
     pt = sub.add_parser("savetrace", help="freeze a workload to a file")
     pt.add_argument("benchmark", choices=sorted(PROFILES))

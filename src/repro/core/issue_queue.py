@@ -138,6 +138,20 @@ class ClusterScheduler:
     # -- occupancy ----------------------------------------------------------
 
     @property
+    def pending_count(self) -> int:
+        """Entries still monitored by wake-up (operands outstanding).
+
+        This is the cluster's wake-up monitoring pressure: how many tag
+        comparators the paper's CAM-style window would be burning.
+        """
+        return len(self._pending)
+
+    @property
+    def ready_count(self) -> int:
+        """Woken entries competing for selection this cycle."""
+        return len(self._ready)
+
+    @property
     def queued(self) -> int:
         """Micro-ops currently waiting to issue on this cluster."""
         return len(self._pending) + len(self._ready)

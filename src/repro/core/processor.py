@@ -92,6 +92,8 @@ class Processor:
         check_invariants: bool = True,
         sanitize: Optional[bool] = None,
         fast_path: bool = True,
+        observe: bool = False,
+        tracer=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -185,6 +187,16 @@ class Processor:
             verify_config(config)
             self.sanitizer = PipelineSanitizer(config, self.renamer)
 
+        # Observability (repro.obs): CPI-stack cycle accounting, the
+        # counter/histogram registry and the optional structured event
+        # trace.  A pure reader - attached last so it sees the fully
+        # built machine; None costs one attribute test per hook site.
+        self.obs = None
+        if observe or tracer is not None:
+            from repro.obs.observer import Observer
+
+            self.obs = Observer(self, tracer=tracer)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -201,6 +213,8 @@ class Processor:
             self._run_until(self.stats.committed + warmup)
             self.stats.reset_measurement()
             self._measured_moves_base = self.renamer.deadlock_moves
+            if self.obs is not None:
+                self.obs.on_measurement_reset()
         self._run_until(self.stats.committed + measure)
         return self.stats
 
@@ -239,6 +253,8 @@ class Processor:
         self.renamer.end_cycle()
         if self.sanitizer is not None:
             self.sanitizer.on_cycle_end(cycle)
+        if self.obs is not None:
+            self.obs.on_cycle_end(cycle)
         self.stats.cycles += 1
         self.cycle = cycle + 1
 
@@ -383,6 +399,8 @@ class Processor:
             stats.stall_cluster_full += width * skipped
         if self.sanitizer is not None:
             self.sanitizer.on_cycle_skip(cycle, horizon)
+        if self.obs is not None:
+            self.obs.on_cycle_skip(cycle, horizon, stall)
         stats.cycles += skipped
         self.cycle = horizon
         self.horizon_jumps += 1
@@ -398,6 +416,7 @@ class Processor:
         renamer = self.renamer
         stats = self.stats
         sanitizer = self.sanitizer
+        obs = self.obs
         budget = self.config.commit_width
         while budget and rob:
             uop = rob[0]
@@ -406,6 +425,8 @@ class Processor:
             rob.popleft()
             if sanitizer is not None:
                 sanitizer.on_commit(uop, cycle)
+            if obs is not None:
+                obs.on_commit(uop, cycle)
             if uop.pdest is not None:
                 renamer.retire_write(uop.pdest)
             if uop.pold is not None:
@@ -487,6 +508,8 @@ class Processor:
         uop.result_cycle = result_cycle
         if self.sanitizer is not None:
             self.sanitizer.on_issue(uop, cycle)
+        if self.obs is not None:
+            self.obs.on_issue(uop, cycle)
         if inst.op == OpClass.IMULDIV:
             if not self.config.pipelined_muldiv:
                 # non-pipelined: the unit is busy for the whole operation
@@ -610,6 +633,8 @@ class Processor:
 
             if self.sanitizer is not None:
                 self.sanitizer.on_dispatch(uop, cycle)
+            if self.obs is not None:
+                self.obs.on_dispatch(uop, cycle)
             self._compute_wakeup(uop, cycle)
             if self.check_invariants and config.uses_read_specialization:
                 self._check_read_legality(uop)
@@ -697,6 +722,11 @@ class Processor:
     def rob_occupancy(self) -> int:
         return len(self._rob)
 
+    @property
+    def rob_head(self) -> Optional[InFlightUop]:
+        """The oldest in-flight micro-op (None when the window is empty)."""
+        return self._rob[0] if self._rob else None
+
     def cluster_occupancies(self) -> List[int]:
         return [scheduler.inflight for scheduler in self.schedulers]
 
@@ -710,9 +740,12 @@ def simulate(
     check_invariants: bool = True,
     sanitize: Optional[bool] = None,
     fast_path: bool = True,
+    observe: bool = False,
+    tracer=None,
 ) -> SimulationStats:
     """One-call convenience wrapper around :class:`Processor`."""
     processor = Processor(config, trace, predictor=predictor,
                           check_invariants=check_invariants,
-                          sanitize=sanitize, fast_path=fast_path)
+                          sanitize=sanitize, fast_path=fast_path,
+                          observe=observe, tracer=tracer)
     return processor.run(measure=measure, warmup=warmup)

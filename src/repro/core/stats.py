@@ -14,25 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-#: Figure 5 parameters: applications are split in groups of 128
-#: instructions; a group is unbalanced when some cluster receives fewer
-#: than 24 or more than 40 of them.  24/40 is exactly the per-cluster
-#: mean (32, on 4 clusters) +/- 25 %, which is how the thresholds
-#: generalise to other cluster counts (e.g. the 7-cluster extension).
-UNBALANCE_GROUP = 128
-UNBALANCE_LOW = 24
-UNBALANCE_HIGH = 40
-
-
-def unbalance_thresholds(num_clusters: int,
-                         group_size: int = UNBALANCE_GROUP):
-    """(low, high) per-cluster bounds: the group mean +/- 25 %.
-
-    Reproduces the paper's 24/40 for 4 clusters and scales sensibly for
-    the generalised N-cluster machines.
-    """
-    mean = group_size / num_clusters
-    return round(mean * 0.75), round(mean * 1.25)
+from repro.metrics.unbalance import (  # noqa: F401  (re-exported API)
+    UNBALANCE_GROUP,
+    UNBALANCE_HIGH,
+    UNBALANCE_LOW,
+    unbalance_thresholds,
+)
+from repro.obs.registry import GroupBalanceTracker
 
 
 class SimulationStats:
@@ -40,8 +28,6 @@ class SimulationStats:
 
     def __init__(self, num_clusters: int) -> None:
         self.num_clusters = num_clusters
-        self._unbalance_low, self._unbalance_high = \
-            unbalance_thresholds(num_clusters)
         # Provenance, set once per run (not a measurement counter): the
         # allocation policy and the seed its per-instance RNG was built
         # from, so any matrix cell can be reproduced from its record.
@@ -91,9 +77,12 @@ class SimulationStats:
         self.cluster_issued = [0] * self.num_clusters
         self.swapped_forms = 0
 
-        # Figure 5 bookkeeping.
-        self._group_counts = [0] * self.num_clusters
-        self._group_size = 0
+        # Figure 5 bookkeeping, delegated to the shared incremental
+        # tracker of repro.obs.registry.  The group totals are kept as
+        # plain attributes (not views into the tracker) so experiment
+        # relation-checks can override them on a result.
+        self._balance = GroupBalanceTracker(self.num_clusters,
+                                            UNBALANCE_GROUP)
         self.groups_total = 0
         self.groups_unbalanced = 0
 
@@ -103,17 +92,11 @@ class SimulationStats:
         self.cluster_allocated[cluster] += 1
         if swapped:
             self.swapped_forms += 1
-        counts = self._group_counts
-        counts[cluster] += 1
-        self._group_size += 1
-        if self._group_size == UNBALANCE_GROUP:
+        closed_unbalanced = self._balance.feed(cluster)
+        if closed_unbalanced is not None:
             self.groups_total += 1
-            if (min(counts) < self._unbalance_low
-                    or max(counts) > self._unbalance_high):
+            if closed_unbalanced:
                 self.groups_unbalanced += 1
-            for cluster_id in range(self.num_clusters):
-                counts[cluster_id] = 0
-            self._group_size = 0
 
     # -- derived metrics ---------------------------------------------------
 

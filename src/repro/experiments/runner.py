@@ -76,6 +76,11 @@ class RunSpec:
     #: :mod:`repro.core.processor`).  ``False`` forces the reference
     #: per-cycle stepper.
     fast_path: bool = True
+    #: Attach the observability layer (:mod:`repro.obs`): CPI-stack
+    #: cycle accounting plus the counter/histogram registry.  The
+    #: result then carries :attr:`RunResult.obs`; every statistic stays
+    #: bit-identical to an unobserved run.
+    observe: bool = False
 
     @property
     def trace_length(self) -> int:
@@ -88,6 +93,10 @@ class RunResult:
 
     spec: RunSpec
     stats: SimulationStats
+    #: Observability snapshot (plain picklable data: the CPI stack under
+    #: ``obs["causes"]``, registry counters/histograms, steering mirror)
+    #: when the spec asked for ``observe=True``; None otherwise.
+    obs: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -106,9 +115,11 @@ def execute(spec: RunSpec) -> RunResult:
                           predictor=make_predictor(spec.predictor),
                           check_invariants=spec.check_invariants,
                           sanitize=True if spec.sanitize else None,
-                          fast_path=spec.fast_path)
+                          fast_path=spec.fast_path,
+                          observe=spec.observe)
     stats = processor.run(measure=spec.measure, warmup=spec.warmup)
-    return RunResult(spec=spec, stats=stats)
+    obs = processor.obs.snapshot() if processor.obs is not None else None
+    return RunResult(spec=spec, stats=stats, obs=obs)
 
 
 def resolve_workers(workers: Optional[int]) -> int:

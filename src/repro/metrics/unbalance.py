@@ -7,18 +7,39 @@ than 24 instructions or more than 40 instructions.  We define the
 unbalancing degree of an application as the ratio of unbalanced
 instruction groups in the application."
 
-The simulator's statistics track this incrementally
-(:class:`repro.core.stats.SimulationStats`); this module provides the
-same computation as a standalone function over any allocation sequence,
-used by tests (cross-checking the incremental version) and by analyses
-that replay recorded allocations.
+The group bookkeeping itself lives in
+:class:`repro.obs.registry.GroupBalanceTracker` - one incremental
+implementation shared by the simulator's statistics
+(:class:`repro.core.stats.SimulationStats`) and by the standalone
+functions here, which replay any recorded allocation sequence (used by
+tests cross-checking the incremental path and by post-hoc analyses).
+This module owns the paper's parameters and the threshold rule.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from repro.core.stats import UNBALANCE_GROUP, UNBALANCE_HIGH, UNBALANCE_LOW
+from repro.obs.registry import GroupBalanceTracker
+
+#: Figure 5 parameters: applications are split in groups of 128
+#: instructions; a group is unbalanced when some cluster receives fewer
+#: than 24 or more than 40 of them.  24/40 is exactly the per-cluster
+#: mean (32, on 4 clusters) +/- 25 %, which is how the thresholds
+#: generalise to other cluster counts (e.g. the 7-cluster extension).
+UNBALANCE_GROUP = 128
+UNBALANCE_LOW, UNBALANCE_HIGH = GroupBalanceTracker.thresholds(
+    4, UNBALANCE_GROUP)
+
+
+def unbalance_thresholds(num_clusters: int,
+                         group_size: int = UNBALANCE_GROUP):
+    """(low, high) per-cluster bounds: the group mean +/- 25 %.
+
+    Reproduces the paper's 24/40 for 4 clusters and scales sensibly for
+    the generalised N-cluster machines.
+    """
+    return GroupBalanceTracker.thresholds(num_clusters, group_size)
 
 
 def group_is_unbalanced(counts: Sequence[int], low: int = UNBALANCE_LOW,
@@ -40,35 +61,17 @@ def unbalancing_degree(
     instruction in program order.  A trailing partial group is ignored,
     as in the paper's definition.
     """
-    counts = [0] * num_clusters
-    filled = 0
-    groups = 0
-    unbalanced = 0
+    tracker = GroupBalanceTracker(num_clusters, group_size, low, high)
     for cluster in cluster_sequence:
-        counts[cluster] += 1
-        filled += 1
-        if filled == group_size:
-            groups += 1
-            if group_is_unbalanced(counts, low, high):
-                unbalanced += 1
-            counts = [0] * num_clusters
-            filled = 0
-    if not groups:
-        return 0.0
-    return 100.0 * unbalanced / groups
+        tracker.feed(cluster)
+    return tracker.unbalancing_degree
 
 
 def group_counts(cluster_sequence: Iterable[int], num_clusters: int = 4,
                  group_size: int = UNBALANCE_GROUP) -> List[List[int]]:
     """Per-group per-cluster instruction counts (diagnostic helper)."""
-    result: List[List[int]] = []
-    counts = [0] * num_clusters
-    filled = 0
+    tracker = GroupBalanceTracker(num_clusters, group_size,
+                                  keep_groups=True)
     for cluster in cluster_sequence:
-        counts[cluster] += 1
-        filled += 1
-        if filled == group_size:
-            result.append(counts)
-            counts = [0] * num_clusters
-            filled = 0
-    return result
+        tracker.feed(cluster)
+    return tracker.groups

@@ -1,0 +1,26 @@
+"""Cycle-accounting observability: registry, CPI stacks, event tracing.
+
+The layer has three parts (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` - name-keyed counters and weighted
+  histograms, plus the shared Figure 5 group-balance tracker;
+* :mod:`repro.obs.cpi` - the CPI-stack cycle accountant attributing
+  every simulated cycle to one WSRS-meaningful cause;
+* :mod:`repro.obs.tracer` / :mod:`repro.obs.analyzer` - the opt-in
+  structured JSONL pipeline event trace and its replay tool.
+
+:class:`repro.obs.observer.Observer` binds them to a processor via
+``Processor(..., observe=True)`` (or ``RunSpec(observe=True)`` through
+the experiment engine); :mod:`repro.obs.stacks` is the ``wsrs stacks``
+driver.  The whole layer is a pure reader: every simulation statistic is
+bit-identical with observability on or off, under either simulator gear.
+
+This package intentionally exports only the registry primitives; the
+observer, tracer and drivers are imported lazily where used so that
+``repro.core.stats`` (which uses the group-balance tracker) never drags
+the processor-facing modules into its import graph.
+"""
+
+from repro.obs.registry import GroupBalanceTracker, Histogram, ObsRegistry
+
+__all__ = ["GroupBalanceTracker", "Histogram", "ObsRegistry"]

@@ -1,0 +1,172 @@
+"""Counter/histogram registry: the bookkeeping core of the obs layer.
+
+:class:`ObsRegistry` is a flat, name-keyed bundle of integer counters and
+weighted histograms.  It deliberately knows nothing about the simulator:
+the :class:`~repro.obs.observer.Observer` decides *what* to record and
+*when*; the registry only accumulates and snapshots.  Everything in a
+snapshot is plain ``dict``/``list``/``int`` data so it can cross the
+experiment engine's process-pool boundary unchanged.
+
+Two design rules keep the layer bit-neutral and gear-invariant:
+
+* the registry never reads simulator state on its own - values are pushed
+  into it, so attaching a registry cannot perturb a run;
+* histograms support a ``weight`` so a bulk-charged event-horizon window
+  (``skipped`` identical dead cycles) records exactly what the reference
+  stepper would have recorded one cycle at a time.
+
+:class:`GroupBalanceTracker` also lives here: the incremental form of the
+paper's Figure 5 unbalancing bookkeeping (128-instruction groups, any
+cluster below/above the mean +/- 25 % marks the group unbalanced).  It is
+shared by :class:`repro.core.stats.SimulationStats` and
+:mod:`repro.metrics.unbalance`, which previously each carried their own
+copy of the group loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """A weighted integer-valued histogram (value -> observation weight)."""
+
+    __slots__ = ("bins",)
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+
+    def record(self, value: int, weight: int = 1) -> None:
+        bins = self.bins
+        bins[value] = bins.get(value, 0) + weight
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.bins.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.total_weight
+        if not total:
+            return 0.0
+        return sum(value * weight
+                   for value, weight in self.bins.items()) / total
+
+    @property
+    def max_value(self) -> int:
+        return max(self.bins) if self.bins else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data form: sorted bins plus the derived moments."""
+        return {
+            "bins": {str(value): self.bins[value]
+                     for value in sorted(self.bins)},
+            "weight": self.total_weight,
+            "mean": self.mean,
+            "max": self.max_value,
+        }
+
+
+class ObsRegistry:
+    """Name-keyed counters and histograms for one simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def sample(self, name: str, value: int, weight: int = 1) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.record(value, weight)
+
+    def reset(self) -> None:
+        """Restart every series (the warm-up/measurement boundary)."""
+        self.counters.clear()
+        self.histograms.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": {name: self.counters[name]
+                         for name in sorted(self.counters)},
+            "histograms": {name: self.histograms[name].snapshot()
+                           for name in sorted(self.histograms)},
+        }
+
+
+class GroupBalanceTracker:
+    """Incremental Figure 5 bookkeeping over an allocation stream.
+
+    Feed it the execution cluster of each dynamic instruction in program
+    order; every ``group_size`` instructions it closes a group and
+    reports whether that group was unbalanced.  A trailing partial group
+    is ignored, as in the paper's definition.
+    """
+
+    def __init__(self, num_clusters: int, group_size: int = 128,
+                 low: Optional[int] = None, high: Optional[int] = None,
+                 keep_groups: bool = False) -> None:
+        default_low, default_high = self.thresholds(num_clusters,
+                                                    group_size)
+        self.num_clusters = num_clusters
+        self.group_size = group_size
+        self.low = default_low if low is None else low
+        self.high = default_high if high is None else high
+        self.groups_total = 0
+        self.groups_unbalanced = 0
+        self.groups: List[List[int]] = []
+        self._keep_groups = keep_groups
+        self._counts = [0] * num_clusters
+        self._filled = 0
+
+    @staticmethod
+    def thresholds(num_clusters: int, group_size: int = 128):
+        """(low, high) per-cluster bounds: the group mean +/- 25 %.
+
+        Reproduces the paper's 24/40 for 4 clusters and scales sensibly
+        for the generalised N-cluster machines.
+        """
+        mean = group_size / num_clusters
+        return round(mean * 0.75), round(mean * 1.25)
+
+    def feed(self, cluster: int) -> Optional[bool]:
+        """Record one allocation.
+
+        Returns ``None`` while the current group is still filling; when
+        the allocation closes a group, returns whether that group was
+        unbalanced (also folded into :attr:`groups_total` /
+        :attr:`groups_unbalanced`).
+        """
+        counts = self._counts
+        counts[cluster] += 1
+        self._filled += 1
+        if self._filled < self.group_size:
+            return None
+        unbalanced = min(counts) < self.low or max(counts) > self.high
+        self.groups_total += 1
+        if unbalanced:
+            self.groups_unbalanced += 1
+        if self._keep_groups:
+            self.groups.append(list(counts))
+        for index in range(self.num_clusters):
+            counts[index] = 0
+        self._filled = 0
+        return unbalanced
+
+    @property
+    def unbalancing_degree(self) -> float:
+        """Ratio of unbalanced groups, in percent (Figure 5's metric)."""
+        if not self.groups_total:
+            return 0.0
+        return 100.0 * self.groups_unbalanced / self.groups_total
+
+    def reset(self) -> None:
+        self.groups_total = 0
+        self.groups_unbalanced = 0
+        self.groups.clear()
+        self._counts = [0] * self.num_clusters
+        self._filled = 0

@@ -1,0 +1,116 @@
+"""Tests for the documentation checker (repro.verify.docscheck)."""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.verify.docscheck import (
+    check_paths,
+    check_tree,
+    github_slug,
+    heading_anchors,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _check(tmp_path, text, name="page.md"):
+    page = tmp_path / name
+    page.write_text(text)
+    return check_paths([page], tmp_path)
+
+
+class TestSlugs:
+    def test_github_slug_rules(self):
+        assert github_slug("Quick Start") == "quick-start"
+        assert github_slug("The `wsrs` CLI") == "the-wsrs-cli"
+        assert github_slug("IPC (Figure 4)") == "ipc-figure-4"
+        assert github_slug("Two  Spaces") == "two--spaces"
+
+    def test_duplicate_headings_get_suffixes(self):
+        lines = ["# Setup", "text", "# Setup", "## Setup"]
+        anchors = heading_anchors(lines)
+        assert set(anchors) == {"setup", "setup-1", "setup-2"}
+
+    def test_headings_inside_fences_ignored(self):
+        lines = ["```", "# not a heading", "```", "# Real"]
+        assert set(heading_anchors(lines)) == {"real"}
+
+
+class TestLinks:
+    def test_valid_links_and_anchors_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Target Section\n")
+        text = ("# Top\n"
+                "[self](#top) and [other](other.md#target-section) "
+                "and [file](other.md) and "
+                "[web](https://example.com/x#y)\n")
+        assert _check(tmp_path, text) == []
+
+    def test_dead_file_link(self, tmp_path):
+        findings = _check(tmp_path, "[gone](missing.md)\n")
+        assert len(findings) == 1
+        assert findings[0].kind == "link"
+        assert "missing.md" in findings[0].message
+
+    def test_dead_anchor(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Present\n")
+        findings = _check(tmp_path, "[bad](other.md#absent)\n")
+        assert [f.kind for f in findings] == ["anchor"]
+
+    def test_dead_self_anchor(self, tmp_path):
+        findings = _check(tmp_path, "# Here\n[bad](#nowhere)\n")
+        assert [f.kind for f in findings] == ["anchor"]
+
+    def test_links_inside_fences_ignored(self, tmp_path):
+        text = "```\n[not a link](missing.md)\n```\n"
+        assert _check(tmp_path, text) == []
+
+
+class TestCommands:
+    def test_valid_commands_pass(self, tmp_path):
+        text = ("```bash\n"
+                "$ PYTHONPATH=src python -m repro simulate gzip --observe\n"
+                "wsrs stacks --quick  # CI gate\n"
+                "wsrs figure4 \\\n"
+                "    --measure 1000\n"
+                "```\n")
+        assert _check(tmp_path, text) == []
+
+    def test_stale_command_flagged(self, tmp_path):
+        findings = _check(tmp_path,
+                          "```bash\nwsrs simulate --no-such-flag\n```\n")
+        assert [f.kind for f in findings] == ["command"]
+        assert "--no-such-flag" in findings[0].message
+
+    def test_unknown_subcommand_flagged(self, tmp_path):
+        findings = _check(tmp_path, "```sh\nwsrs frobnicate\n```\n")
+        assert [f.kind for f in findings] == ["command"]
+
+    def test_python_blocks_are_not_commands(self, tmp_path):
+        text = ("```python\n"
+                "wsrs = simulate(config)  # a variable, not the CLI\n"
+                "```\n")
+        assert _check(tmp_path, text) == []
+
+    def test_non_wsrs_shell_lines_skipped(self, tmp_path):
+        text = "```bash\npip list\npython -m pytest\n```\n"
+        assert _check(tmp_path, text) == []
+
+
+class TestRepositoryDocs:
+    def test_shipping_docs_are_clean(self):
+        """README.md and docs/*.md must stay free of dead links, dead
+        anchors and stale commands."""
+        findings = check_tree(REPO_ROOT)
+        assert findings == [], "\n".join(
+            f"{f.path}:{f.line} [{f.kind}] {f.message}" for f in findings)
+
+    def test_cli_reports_clean(self, capsys):
+        assert main(["docscheck", "--root", str(REPO_ROOT)]) == 0
+        assert "docscheck: clean" in capsys.readouterr().out
+
+    def test_cli_reports_findings(self, tmp_path, capsys):
+        page = tmp_path / "bad.md"
+        page.write_text("[gone](missing.md)\n")
+        assert main(["docscheck", str(page),
+                     "--root", str(tmp_path)]) == 1
+        assert "missing.md" in capsys.readouterr().out

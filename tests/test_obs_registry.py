@@ -1,0 +1,136 @@
+"""Tests for the observability registry (repro.obs.registry)."""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import SimulationStats
+from repro.metrics.unbalance import (
+    UNBALANCE_GROUP,
+    UNBALANCE_HIGH,
+    UNBALANCE_LOW,
+    group_counts,
+    unbalancing_degree,
+)
+from repro.obs.registry import GroupBalanceTracker, Histogram, ObsRegistry
+
+
+class TestHistogram:
+    def test_weighted_records(self):
+        histogram = Histogram()
+        histogram.record(3)
+        histogram.record(3, weight=4)
+        histogram.record(7, weight=5)
+        assert histogram.bins == {3: 5, 7: 5}
+        assert histogram.total_weight == 10
+        assert histogram.mean == 5.0
+        assert histogram.max_value == 7
+
+    def test_empty_moments(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.max_value == 0
+        assert histogram.total_weight == 0
+
+    def test_snapshot_is_plain_sorted_data(self):
+        histogram = Histogram()
+        histogram.record(9, 2)
+        histogram.record(1, 3)
+        snapshot = histogram.snapshot()
+        assert list(snapshot["bins"]) == ["1", "9"]
+        assert snapshot["weight"] == 5
+        assert snapshot == pickle.loads(pickle.dumps(snapshot))
+
+    def test_bulk_weight_equals_repeated_records(self):
+        """weight=N must be indistinguishable from N unit records - the
+        property the event-horizon sampling relies on."""
+        bulk, repeated = Histogram(), Histogram()
+        bulk.record(5, weight=37)
+        for _ in range(37):
+            repeated.record(5)
+        assert bulk.snapshot() == repeated.snapshot()
+
+
+class TestObsRegistry:
+    def test_counters_and_samples(self):
+        registry = ObsRegistry()
+        registry.count("op_IALU")
+        registry.count("op_IALU", 3)
+        registry.sample("rob", 12)
+        registry.sample("rob", 12, weight=2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"op_IALU": 4}
+        assert snapshot["histograms"]["rob"]["bins"] == {"12": 3}
+
+    def test_reset_clears_everything(self):
+        registry = ObsRegistry()
+        registry.count("x")
+        registry.sample("y", 1)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+
+class TestGroupBalanceTracker:
+    def test_paper_thresholds(self):
+        assert GroupBalanceTracker.thresholds(4, 128) == (24, 40)
+        assert (UNBALANCE_GROUP, UNBALANCE_LOW, UNBALANCE_HIGH) == \
+            (128, 24, 40)
+
+    def test_feed_reports_group_closure(self):
+        tracker = GroupBalanceTracker(4, group_size=4, low=1, high=3)
+        assert tracker.feed(0) is None
+        assert tracker.feed(1) is None
+        assert tracker.feed(2) is None
+        assert tracker.feed(3) is False  # perfectly balanced group
+        for _ in range(3):
+            assert tracker.feed(0) is None
+        assert tracker.feed(0) is True  # one cluster took everything
+        assert tracker.groups_total == 2
+        assert tracker.groups_unbalanced == 1
+        assert tracker.unbalancing_degree == 50.0
+
+    def test_reset(self):
+        tracker = GroupBalanceTracker(4)
+        for _ in range(UNBALANCE_GROUP):
+            tracker.feed(0)
+        tracker.reset()
+        assert tracker.groups_total == 0
+        assert tracker.unbalancing_degree == 0.0
+
+    def test_keep_groups_matches_group_counts(self):
+        sequence = [0] * 64 + [1] * 64 + [2] * 128 + [3] * 17
+        assert group_counts(sequence) == [[64, 64, 0, 0], [0, 0, 128, 0]]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=1000))
+    def test_tracker_matches_standalone_and_stats(self, sequence):
+        """One bookkeeping implementation, three consumers: the tracker,
+        the standalone metric and the simulator stats must agree."""
+        tracker = GroupBalanceTracker(4)
+        stats = SimulationStats(4)
+        for cluster in sequence:
+            tracker.feed(cluster)
+            stats.record_allocation(cluster, swapped=False)
+        degree = unbalancing_degree(sequence)
+        assert tracker.unbalancing_degree == degree
+        assert stats.unbalancing_degree == degree
+        assert stats.groups_total == tracker.groups_total
+        assert stats.groups_unbalanced == tracker.groups_unbalanced
+
+    def test_stats_group_attributes_stay_writable(self):
+        """Experiment relation checks overwrite groups_total/unbalanced
+        on a result's stats; the tracker refactor must keep them plain
+        attributes."""
+        stats = SimulationStats(4)
+        stats.groups_total = 10
+        stats.groups_unbalanced = 5
+        assert stats.unbalancing_degree == 50.0
+
+    def test_stats_still_picklable(self):
+        stats = SimulationStats(4)
+        for cluster in (0, 1, 2, 3) * 64:
+            stats.record_allocation(cluster, swapped=False)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.groups_total == stats.groups_total == 2
+        assert clone.unbalancing_degree == stats.unbalancing_degree

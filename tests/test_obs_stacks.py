@@ -1,0 +1,61 @@
+"""Tests for the CPI-stack driver (repro.obs.stacks + wsrs stacks)."""
+
+import json
+
+from repro.cli import main
+from repro.obs import stacks
+from repro.obs.cpi import CAUSES
+
+TINY = dict(measure=1_500, warmup=1_000, seed=1, workers=1)
+
+
+class TestCollect:
+    def test_six_configs_per_benchmark(self):
+        table = stacks.collect(benchmarks=["gzip"], **TINY)
+        assert list(table) == ["gzip"]
+        row = table["gzip"]
+        assert len(row) == 6
+        for result in row.values():
+            assert result.obs is not None
+            assert sum(result.obs["causes"].values()) == \
+                result.stats.cycles
+
+    def test_markdown_has_all_causes_and_configs(self):
+        table = stacks.collect(benchmarks=["gzip"], **TINY)
+        markdown = stacks.render_markdown(table)
+        assert "### CPI stack - gzip" in markdown
+        for cause in CAUSES:
+            assert cause in markdown
+        for name in table["gzip"]:
+            assert f"| {name} |" in markdown
+
+    def test_json_shape(self):
+        table = stacks.collect(benchmarks=["gzip"], **TINY)
+        payload = stacks.as_json(table)
+        cell = payload["gzip"]["RR 256"]
+        assert set(cell["causes"]) == set(CAUSES)
+        assert cell["cycles"] == sum(cell["causes"].values())
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+class TestVerifyInvariants:
+    def test_clean_on_shipping_configs(self):
+        problems = stacks.verify_invariants(
+            benchmarks=["gzip"], measure=1_500, warmup=1_000, workers=1)
+        assert problems == []
+
+
+class TestCli:
+    def test_stacks_writes_outputs(self, tmp_path, capsys):
+        out_md = tmp_path / "stacks.md"
+        out_json = tmp_path / "stacks.json"
+        code = main(["stacks", "--benchmarks", "gzip",
+                     "--measure", "1500", "--warmup", "1000",
+                     "--workers", "1",
+                     "--out-md", str(out_md),
+                     "--out-json", str(out_json)])
+        assert code == 0
+        assert "CPI stack - gzip" in out_md.read_text()
+        payload = json.loads(out_json.read_text())
+        assert set(payload["gzip"]["RR 256"]["causes"]) == set(CAUSES)
+        assert "CPI stack - gzip" in capsys.readouterr().out
