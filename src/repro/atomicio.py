@@ -1,0 +1,76 @@
+"""Atomic file publication shared by every disk-writing subsystem.
+
+Both the trace cache's disk tier (:mod:`repro.trace.cache`) and the
+service result store (:mod:`repro.service.store`) can have many worker
+processes racing to publish the *same* key at the same time.  The only
+safe publication protocol on POSIX is
+
+    write to a unique temporary file in the destination directory,
+    then ``os.replace`` it over the final name
+
+because ``os.replace`` is atomic within a filesystem: a reader either
+sees the old complete file or the new complete file, never a torn
+write.  The temporary name must be unique *per writer* - a fixed
+``path + ".tmp"`` (or even ``path + pid``, for threads sharing one
+process) re-introduces the race as two writers truncate each other's
+half-written temp file.  :func:`tempfile.mkstemp` gives that uniqueness
+unconditionally.
+
+Every helper here tolerates losing the race: when several writers
+publish the same key the last ``os.replace`` wins, and since callers
+only ever publish identical content for identical keys (cache entries
+and idempotent job results are pure functions of their key) the winner
+is always a valid file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically (temp file + rename).
+
+    The temporary file lives in ``path``'s directory so the final
+    ``os.replace`` never crosses a filesystem boundary.  On any failure
+    the temp file is removed and the destination is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle, tmp = tempfile.mkstemp(dir=directory,
+                                   prefix=os.path.basename(path) + ".",
+                                   suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Publish ``text`` at ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: PathLike, payload: Any, **dumps_kwargs) -> None:
+    """Publish a JSON document at ``path`` atomically."""
+    atomic_write_text(path, json.dumps(payload, **dumps_kwargs))
+
+
+def atomic_write_pickle(path: PathLike, payload: Any) -> None:
+    """Publish a pickle at ``path`` atomically."""
+    atomic_write_bytes(
+        path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))

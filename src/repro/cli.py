@@ -19,6 +19,9 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs lint                      # determinism/API lint over src/repro
     wsrs verify                    # static WS/RS invariant rules per config
     wsrs docscheck                 # docs link/anchor + command freshness
+    wsrs serve                     # run the simulation job service (HTTP)
+    wsrs submit gzip --wait        # submit one job to a running service
+    wsrs loadtest                  # drive N clients -> BENCH_service.json
 
 ``wsrs simulate --sanitize`` (or ``WSRS_SANITIZE=1`` for any command)
 runs the cycle-level pipeline sanitizer of :mod:`repro.verify.sanitizer`
@@ -327,6 +330,66 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import build_scheduler, serve
+
+    scheduler = build_scheduler(
+        workers=args.workers or 2, backlog=args.backlog,
+        quota=args.quota, job_timeout=args.job_timeout,
+        retry_budget=args.retry_budget, drain_timeout=args.drain_timeout,
+        store_dir=args.store, ttl_seconds=args.ttl)
+    return serve(host=args.host, port=args.port, scheduler=scheduler)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import JobFailed, ServiceClient
+
+    client = ServiceClient(args.url, client_id=args.client)
+    request = {"kind": args.kind, "benchmarks": [args.benchmark],
+               "configs": [args.config], "measure": args.measure,
+               "warmup": args.warmup, "seed": args.seed,
+               "priority": args.priority}
+    if args.kind == "matrix":
+        request["benchmarks"] = args.benchmarks or [args.benchmark]
+        request["configs"] = [args.config]
+    if args.no_wait:
+        record = client.submit(request)
+        print(f"job {record['id']} {record['state']}"
+              + (" (cached)" if record.get("cached") else ""))
+        return 0
+    try:
+        record = client.submit_and_wait(request, timeout=args.timeout)
+    except JobFailed as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"job {record['id']} {record['state']}"
+          + (" (cached)" if record.get("cached") else "")
+          + (f" latency {record['latency_ms']:.0f} ms"
+             if record.get("latency_ms") is not None else ""))
+    if record["state"] != "done":
+        print(f"error: {record.get('error')}", file=sys.stderr)
+        return 1
+    for cell in record["result"]["cells"]:
+        summary = cell["summary"]
+        print(f"{cell['benchmark']:<10s}{cell['config']:<16s}"
+              f"IPC {summary['ipc']:.3f}  cycles {summary['cycles']}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.service.loadtest import run
+
+    record = run(url=args.url, clients=args.clients,
+                 benchmarks=args.benchmarks or ["gzip", "mcf"],
+                 configs=[args.config] if args.config else
+                 ["RR 256", "WSRS RC S 512"],
+                 measure=args.measure, warmup=args.warmup,
+                 seed=args.seed, passes=args.passes, out=args.out,
+                 server_workers=args.workers or 2,
+                 direct_workers=args.workers)
+    return 0 if record["identical"] else 1
+
+
 def _cmd_profiles(args: argparse.Namespace) -> int:
     print(f"{'name':<10s}{'suite':<7s}description")
     for name in ALL_BENCHMARKS:
@@ -481,6 +544,79 @@ def build_parser() -> argparse.ArgumentParser:
                     help="repository root for the default target set")
     pd.set_defaults(func=_cmd_docscheck)
 
+    px = sub.add_parser(
+        "serve",
+        help="run the simulation job service (HTTP, asyncio, stdlib)")
+    px.add_argument("--host", default="127.0.0.1")
+    px.add_argument("--port", type=int, default=8787,
+                    help="listen port (0 = OS-assigned, printed on start)")
+    px.add_argument("--workers", type=_worker_count, default=None,
+                    metavar="N",
+                    help="simulation worker processes (default: 2)")
+    px.add_argument("--backlog", type=int, default=64,
+                    help="queued jobs admitted before load shedding")
+    px.add_argument("--quota", type=int, default=16,
+                    help="active jobs allowed per client id")
+    px.add_argument("--job-timeout", type=float, default=600.0,
+                    metavar="SECONDS", help="per-job wall-clock budget")
+    px.add_argument("--retry-budget", type=int, default=2,
+                    help="requeues after worker crashes before failing")
+    px.add_argument("--drain-timeout", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="shutdown grace for in-flight jobs")
+    px.add_argument("--store", default=None, metavar="DIR",
+                    help="result-store directory (enables dedup across "
+                         "restarts and cached-result short-circuiting)")
+    px.add_argument("--ttl", type=float, default=86_400.0,
+                    metavar="SECONDS",
+                    help="result-store time-to-live")
+    px.set_defaults(func=_cmd_serve)
+
+    pj = sub.add_parser(
+        "submit", help="submit one job to a running wsrs service")
+    pj.add_argument("benchmark", choices=sorted(PROFILES))
+    pj.add_argument("--config", default="WSRS RC S 512",
+                    choices=[c.name for c in figure4_configs()])
+    pj.add_argument("--kind", default="simulate",
+                    choices=["simulate", "matrix", "stacks"])
+    pj.add_argument("--url", default="http://127.0.0.1:8787")
+    pj.add_argument("--client", default="cli",
+                    help="client id used for quota accounting")
+    pj.add_argument("--measure", type=int, default=20_000)
+    pj.add_argument("--warmup", type=int, default=0)
+    pj.add_argument("--seed", type=int, default=1)
+    pj.add_argument("--priority", type=int, default=5,
+                    help="0 (soonest) .. 9")
+    pj.add_argument("--benchmarks", nargs="*", default=None,
+                    metavar="NAME", help="benchmark list for --kind matrix")
+    pj.add_argument("--timeout", type=float, default=600.0,
+                    help="how long to wait for completion")
+    pj.add_argument("--no-wait", action="store_true",
+                    help="print the job id and return immediately")
+    pj.set_defaults(func=_cmd_submit)
+
+    py = sub.add_parser(
+        "loadtest",
+        help="drive N concurrent clients against the service, verify "
+             "bit-identical results, write BENCH_service.json")
+    py.add_argument("--url", default=None,
+                    help="existing service (default: embedded server)")
+    py.add_argument("--clients", type=int, default=4)
+    py.add_argument("--benchmarks", nargs="*", default=None,
+                    metavar="NAME")
+    py.add_argument("--config", default=None,
+                    choices=[c.name for c in figure4_configs()],
+                    help="restrict to one configuration")
+    py.add_argument("--measure", type=int, default=4_000)
+    py.add_argument("--warmup", type=int, default=2_000)
+    py.add_argument("--seed", type=int, default=1)
+    py.add_argument("--passes", type=int, default=2,
+                    help=">= 2 exercises the result-store fast path")
+    py.add_argument("--workers", type=_worker_count, default=None,
+                    metavar="N", help="embedded-server pool size")
+    py.add_argument("--out", default="BENCH_service.json")
+    py.set_defaults(func=_cmd_loadtest)
+
     pt = sub.add_parser("savetrace", help="freeze a workload to a file")
     pt.add_argument("benchmark", choices=sorted(PROFILES))
     pt.add_argument("output")
@@ -493,7 +629,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        from repro.experiments.runner import ExperimentInterrupted
+
+        if isinstance(exc, ExperimentInterrupted):
+            # The pool is already drained; report the partial flush.
+            print(f"interrupted: {len(exc.results)} cell(s) completed "
+                  f"before shutdown", file=sys.stderr)
+            return 130
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

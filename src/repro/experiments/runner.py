@@ -34,9 +34,13 @@ picklable data.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Set
 
 from repro.config import MachineConfig
 from repro.core.processor import Processor
@@ -107,6 +111,57 @@ class RunResult:
         return self.stats.unbalancing_degree
 
 
+class ExperimentInterrupted(RuntimeError):
+    """A matrix run was stopped early (Ctrl-C or SIGTERM).
+
+    Raised by :func:`execute_many` after the worker pool has been torn
+    down cleanly: queued cells cancelled, running workers reaped, no
+    orphaned processes.  :attr:`results` carries every cell that
+    completed before the interrupt, in spec order, so callers can flush
+    partial tables instead of losing the whole sweep.
+    """
+
+    def __init__(self, results: List["RunResult"]) -> None:
+        super().__init__(
+            f"experiment interrupted; {len(results)} cell(s) completed")
+        self.results = results
+
+
+def shutdown_pool(pool: ProcessPoolExecutor,
+                  cancel_pending: bool = True) -> None:
+    """Orderly pool teardown: drop queued work, reap every worker.
+
+    ``cancel_pending`` cancels cells that have not started; cells already
+    running complete (a simulation cannot be interrupted mid-cycle) and
+    their processes are joined before this returns.  Shared with the
+    service scheduler's drain path (:mod:`repro.service.scheduler`).
+    """
+    pool.shutdown(wait=True, cancel_futures=cancel_pending)
+
+
+@contextmanager
+def sigterm_interrupts() -> Iterator[None]:
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` while active.
+
+    Lets one cleanup path (the ``except KeyboardInterrupt`` around the
+    pool loop) serve both Ctrl-C and a supervisor's TERM.  A no-op off
+    the main thread, where CPython forbids installing signal handlers -
+    there the embedding host owns signal routing.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def execute(spec: RunSpec) -> RunResult:
     """Run one simulation to completion (the pool worker entry point)."""
     trace = cached_spec_trace(spec.benchmark, spec.trace_length,
@@ -170,22 +225,37 @@ def execute_many(
                 progress(result)
         return results
 
-    # Generate each distinct trace once, pre-fork: forked workers then
-    # read the parent's materialised traces via copy-on-write.
-    warm_trace_cache(specs)
     slots: List[Optional[RunResult]] = [None] * len(specs)
-    max_workers = min(workers, len(specs))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        future_index = {pool.submit(execute, spec): index
-                        for index, spec in enumerate(specs)}
-        pending = set(future_index)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                result = future.result()
-                slots[future_index[future]] = result
-                if progress is not None:
-                    progress(result)
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        # The interrupt window opens before trace warming: a TERM during
+        # the (potentially long) generation phase must also exit through
+        # ExperimentInterrupted rather than the default kill.
+        with sigterm_interrupts():
+            # Generate each distinct trace once, pre-fork: forked
+            # workers then read the parent's materialised traces via
+            # copy-on-write pages.
+            warm_trace_cache(specs)
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(specs)))
+            future_index = {pool.submit(execute, spec): index
+                            for index, spec in enumerate(specs)}
+            pending = set(future_index)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    slots[future_index[future]] = result
+                    if progress is not None:
+                        progress(result)
+    except (KeyboardInterrupt, SystemExit) as exc:
+        # Flush what finished; the finally below reaps the workers, so
+        # an interrupted sweep leaves neither orphans nor torn results.
+        partial = [result for result in slots if result is not None]
+        raise ExperimentInterrupted(partial) from exc
+    finally:
+        if pool is not None:
+            shutdown_pool(pool)
     return [result for result in slots if result is not None]
 
 

@@ -1,0 +1,133 @@
+"""Disk-backed result store with atomic publication and TTL eviction.
+
+Completed job payloads are keyed by the job's idempotency key
+(:func:`repro.service.jobs.job_key`) and published with the shared
+temp-file + ``os.replace`` helper (:mod:`repro.atomicio`), so concurrent
+scheduler workers - or several service processes sharing one store
+directory - never expose a torn file.  Re-publishing a key is harmless:
+results are pure functions of their key, so the last writer rewrites
+identical content.
+
+Entries expire ``ttl_seconds`` after they were stored.  Expiry is
+enforced lazily on :meth:`get` (an expired file is deleted and reported
+as a miss) and in bulk by :meth:`evict_expired`, which the scheduler
+calls opportunistically and on shutdown.  The clock is injectable so
+eviction is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.atomicio import atomic_write_json
+
+#: Default time-to-live of a stored result: one day.
+DEFAULT_TTL_SECONDS = 24 * 3600.0
+
+_KEY_CHARS = frozenset("0123456789abcdef")
+
+
+class ResultStore:
+    """Directory of ``<key>.json`` result records with a TTL."""
+
+    def __init__(self, directory: str,
+                 ttl_seconds: Optional[float] = DEFAULT_TTL_SECONDS,
+                 clock: Callable[[], float] = time.time) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.directory = directory
+        self.ttl_seconds = ttl_seconds
+        self.clock = clock
+        self.puts = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        if not key or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"malformed result key {key!r}")
+        return os.path.join(self.directory, f"{key}.json")
+
+    def keys(self) -> List[str]:
+        return sorted(name[:-len(".json")]
+                      for name in os.listdir(self.directory)
+                      if name.endswith(".json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- access ----------------------------------------------------------
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Publish ``payload`` under ``key`` (atomic, last writer wins)."""
+        record = {"key": key, "stored_at": self.clock(),
+                  "payload": payload}
+        atomic_write_json(self._path(key), record)
+        self.puts += 1
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload, or None on a miss / expiry / corruption."""
+        path = self._path(key)
+        record = self._read(path)
+        if record is None:
+            self.misses += 1
+            return None
+        if self._expired(record):
+            self._remove(path)
+            self.evictions += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["payload"]
+
+    def evict_expired(self) -> int:
+        """Delete every expired record; returns how many were evicted."""
+        if self.ttl_seconds is None:
+            return 0
+        evicted = 0
+        for key in self.keys():
+            path = self._path(key)
+            record = self._read(path)
+            if record is None or self._expired(record):
+                self._remove(path)
+                evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def stats(self) -> Dict[str, float]:
+        return {"entries": len(self), "puts": self.puts, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}
+
+    # -- internals -------------------------------------------------------
+
+    def _expired(self, record: Dict) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        stored_at = record.get("stored_at")
+        if not isinstance(stored_at, (int, float)):
+            return True  # unreadable provenance: treat as expired
+        return self.clock() - stored_at > self.ttl_seconds
+
+    @staticmethod
+    def _read(path: str) -> Optional[Dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            return None
+        return record
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass  # raced with another evictor: already gone

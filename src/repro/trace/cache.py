@@ -34,6 +34,7 @@ import pickle
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
+from repro.atomicio import atomic_write_pickle
 from repro.trace.model import TraceInstruction
 from repro.trace.profiles import get_profile
 from repro.trace.synthetic import GENERATOR_VERSION, SyntheticTraceGenerator
@@ -127,19 +128,14 @@ class TraceCache:
         path = self._disk_path(key)
         if path is None:
             return
-        os.makedirs(self.disk_dir, exist_ok=True)
-        # Write-then-rename so concurrent workers never read a torn file.
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # Unique-temp-file + os.replace (repro.atomicio): concurrent
+        # workers - including threads sharing one pid - publishing the
+        # same key never read a torn file and never truncate each
+        # other's in-progress temp file.
         try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(trace, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            atomic_write_pickle(path, trace)
         except OSError:
-            if os.path.exists(tmp):
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
+            pass  # disk tier is best-effort; the memory tier has it
 
 
 # -- module-level default cache ------------------------------------------

@@ -1,0 +1,121 @@
+"""Tests for the shared atomic-write helper and the trace-cache disk
+tier it fixes.
+
+The satellite contract (ISSUE 5): concurrent workers writing the same
+key must publish via unique-temp-file + ``os.replace`` so a reader never
+observes a torn file and writers never truncate each other's temp file.
+The hammer tests here genuinely race multiple processes on one path.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+
+from repro.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_pickle,
+    atomic_write_text,
+)
+from repro.trace.cache import TraceCache, trace_key
+
+HAMMER_KEY = ("gzip", 600, 7)  # (profile, length, seed)
+
+
+def test_atomic_write_bytes_round_trip(tmp_path):
+    path = tmp_path / "sub" / "payload.bin"  # directory is created
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_atomic_write_text_and_json(tmp_path):
+    atomic_write_text(tmp_path / "t.txt", "héllo")
+    assert (tmp_path / "t.txt").read_text(encoding="utf-8") == "héllo"
+    atomic_write_json(tmp_path / "r.json", {"a": [1, 2.5]})
+    assert json.loads((tmp_path / "r.json").read_text()) == {"a": [1, 2.5]}
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "x.json"
+    atomic_write_json(path, {"version": 1})
+    atomic_write_json(path, {"version": 2})
+    assert json.loads(path.read_text()) == {"version": 2}
+
+
+def test_no_temp_residue_on_success(tmp_path):
+    atomic_write_pickle(tmp_path / "trace.pkl", (1, 2, 3))
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["trace.pkl"]
+
+
+def _hammer_json(path: str, writer: int, rounds: int) -> None:
+    # Every payload is self-consistent, so any *complete* file is valid.
+    for round_index in range(rounds):
+        atomic_write_json(path, {"writer": writer, "round": round_index,
+                                 "blob": "x" * 20_000})
+
+
+def _read_forever(path: str, rounds: int) -> None:
+    seen = 0
+    while seen < rounds:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            continue
+        # A torn write would fail json.load above or this invariant.
+        assert len(record["blob"]) == 20_000
+        seen += 1
+
+
+def test_concurrent_writers_never_tear_the_file(tmp_path):
+    path = str(tmp_path / "contended.json")
+    writers = [
+        multiprocessing.Process(target=_hammer_json,
+                                args=(path, index, 40))
+        for index in range(4)
+    ]
+    for process in writers:
+        process.start()
+    _read_forever(path, rounds=200)  # reads race the writers
+    for process in writers:
+        process.join(30)
+        assert process.exitcode == 0
+    assert sorted(os.listdir(tmp_path)) == ["contended.json"]
+
+
+def _hammer_trace_cache(disk_dir: str) -> None:
+    # A fresh cache per call: every get misses memory and races the
+    # disk tier (load-or-generate-and-publish) on the same key.
+    for _ in range(6):
+        cache = TraceCache(capacity=1, disk_dir=disk_dir)
+        trace = cache.get(*HAMMER_KEY)
+        assert len(trace) == HAMMER_KEY[1]
+
+
+def test_trace_cache_disk_tier_single_key_hammer(tmp_path):
+    """ISSUE satellite: one key hammered from multiple processes."""
+    disk_dir = str(tmp_path / "cache")
+    processes = [
+        multiprocessing.Process(target=_hammer_trace_cache,
+                                args=(disk_dir,))
+        for _ in range(4)
+    ]
+    for process in processes:
+        process.start()
+    _hammer_trace_cache(disk_dir)  # the parent joins the race too
+    for process in processes:
+        process.join(60)
+        assert process.exitcode == 0
+    # The survivor is one complete pickle of the right workload, with
+    # no temp-file residue from any losing writer.
+    key = trace_key(*HAMMER_KEY)
+    names = sorted(os.listdir(disk_dir))
+    assert names == [f"gzip-{key[1]}-{key[2]}-v{key[3]}.pkl"]
+    with open(os.path.join(disk_dir, names[0]), "rb") as handle:
+        trace = pickle.load(handle)
+    assert isinstance(trace, tuple) and len(trace) == HAMMER_KEY[1]
+    # And a fresh cache reads it back as a disk hit.
+    fresh = TraceCache(disk_dir=disk_dir)
+    fresh.get(*HAMMER_KEY)
+    assert fresh.disk_hits == 1 and fresh.misses == 0

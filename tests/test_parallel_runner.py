@@ -8,12 +8,17 @@ contract rests on: picklable specs/results, deterministic per-cell
 execution, spec-order reassembly, and the progress stream.
 """
 
+import os
 import pickle
+import signal
+import threading
+import time
 
 import pytest
 
 from repro.config import baseline_rr_256, wsrs_rc
 from repro.experiments.runner import (
+    ExperimentInterrupted,
     RunSpec,
     TRACE_SLACK,
     execute,
@@ -21,6 +26,7 @@ from repro.experiments.runner import (
     matrix_specs,
     resolve_workers,
     run_matrix,
+    sigterm_interrupts,
     warm_trace_cache,
 )
 
@@ -101,6 +107,82 @@ class TestExecuteMany:
         specs = mini_specs()
         # 3 benchmarks x 2 configs but only 3 distinct workloads
         assert warm_trace_cache(specs) == len(MINI_BENCHMARKS)
+
+
+class TestGracefulInterrupt:
+    """ISSUE 5 satellite: Ctrl-C / SIGTERM mid-sweep tears the pool down
+    cleanly - no orphaned workers - and flushes partial results."""
+
+    def test_keyboard_interrupt_flushes_partials(self):
+        specs = matrix_specs(mini_configs(), MINI_BENCHMARKS,
+                             measure=500, warmup=0)
+
+        def interrupt_after_first(result):
+            raise KeyboardInterrupt
+
+        with pytest.raises(ExperimentInterrupted) as excinfo:
+            execute_many(specs, workers=2,
+                         progress=interrupt_after_first)
+        partial = excinfo.value.results
+        # Exactly the cells recorded before the interrupt - here, the
+        # one whose progress callback pulled the plug.
+        assert len(partial) == 1
+        assert partial[0].spec in specs
+        assert partial[0].stats.committed >= 500
+        assert "1 cell(s) completed" in str(excinfo.value)
+
+    def test_interrupt_leaves_no_orphan_workers(self):
+        import multiprocessing
+
+        specs = matrix_specs(mini_configs(), MINI_BENCHMARKS,
+                             measure=500, warmup=0)
+
+        def interrupt(result):
+            raise KeyboardInterrupt
+
+        before = len(multiprocessing.active_children())
+        with pytest.raises(ExperimentInterrupted):
+            execute_many(specs, workers=2, progress=interrupt)
+        # shutdown_pool joined every worker before re-raising.
+        assert len(multiprocessing.active_children()) <= before
+
+    def test_sigterm_mid_sweep_becomes_experiment_interrupted(self):
+        specs = matrix_specs(mini_configs(), MINI_BENCHMARKS,
+                             measure=500, warmup=0)
+        fired = []
+
+        def term_after_first(result):
+            if not fired:
+                fired.append(result)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        with pytest.raises(ExperimentInterrupted) as excinfo:
+            execute_many(specs, workers=2, progress=term_after_first)
+        assert len(excinfo.value.results) >= 1
+
+    def test_sigterm_context_restores_previous_handler(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        with sigterm_interrupts():
+            assert signal.getsignal(signal.SIGTERM) is not previous
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(0.5)  # the handler fires at this checkpoint
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_sigterm_context_is_noop_off_main_thread(self):
+        outcome = {}
+
+        def body():
+            try:
+                with sigterm_interrupts():
+                    outcome["entered"] = True
+            except BaseException as exc:  # pragma: no cover
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(10)
+        assert outcome == {"entered": True}
 
 
 class TestParallelSerialParity:

@@ -1,0 +1,70 @@
+"""Tests for the load-test harness: bit-identical verification against
+direct execution, result-store fast path on repeat passes, benchmark
+record shape."""
+
+import json
+
+import pytest
+
+from repro.service.loadtest import percentile, run
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_nearest_rank_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+
+@pytest.fixture(scope="module")
+def record_and_path(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_service.json"
+    messages = []
+    record = run(clients=2, benchmarks=("gzip",), configs=("RR 256",),
+                 measure=1_500, warmup=500, seed=1, passes=2,
+                 out=str(out), server_workers=2,
+                 announce=messages.append)
+    return record, out, messages
+
+
+class TestMiniLoadtest:
+    def test_service_results_are_bit_identical(self, record_and_path):
+        record, _out, _messages = record_and_path
+        assert record["identical"] is True
+
+    def test_second_pass_hits_the_result_store(self, record_and_path):
+        record, _out, _messages = record_and_path
+        # Pass 2 re-submits identical work: every job short-circuits.
+        assert record["cache_hits"] >= record["cells"]
+        assert record["passes"][1]["cached_jobs"] == record["cells"]
+
+    def test_benchmark_record_shape(self, record_and_path):
+        record, out, _messages = record_and_path
+        assert record["benchmark"] == "service-loadtest"
+        assert len(record["passes"]) == 2
+        for pass_record in record["passes"]:
+            assert pass_record["jobs"] == record["cells"]
+            assert pass_record["throughput_jobs_per_s"] > 0
+            latency = pass_record["latency_ms"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
+            assert 0.0 <= pass_record["shed_rate"] <= 1.0
+        assert json.loads(out.read_text()) == record
+
+    def test_announcements_cover_the_run(self, record_and_path):
+        _record, _out, messages = record_and_path
+        text = "\n".join(messages)
+        assert "embedded service" in text
+        assert "pass 2/2" in text
+        assert "identical=True" in text
+
+
+def test_rejects_zero_passes():
+    with pytest.raises(ValueError):
+        run(passes=0)

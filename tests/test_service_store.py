@@ -1,0 +1,105 @@
+"""Tests for the disk-backed result store: atomic publication, TTL
+eviction (fake clock - no sleeping), corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.service.store import ResultStore
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    return ResultStore(str(tmp_path / "results"), ttl_seconds=60.0,
+                       clock=clock)
+
+
+KEY = "ab" * 16
+OTHER = "cd" * 16
+
+
+def test_round_trip(store):
+    store.put(KEY, {"cells": [1, 2]})
+    assert store.get(KEY) == {"cells": [1, 2]}
+    assert store.stats()["hits"] == 1
+
+
+def test_miss_is_none(store):
+    assert store.get(KEY) is None
+    assert store.stats()["misses"] == 1
+
+
+def test_malformed_key_rejected(store):
+    with pytest.raises(ValueError):
+        store.put("../../escape", {})
+    with pytest.raises(ValueError):
+        store.get("UPPER")
+
+
+def test_ttl_expiry_on_get(store, clock):
+    store.put(KEY, {"v": 1})
+    clock.now += 61.0
+    assert store.get(KEY) is None       # expired -> miss
+    assert len(store) == 0              # ...and deleted on the spot
+    assert store.stats()["evictions"] == 1
+
+
+def test_entry_survives_within_ttl(store, clock):
+    store.put(KEY, {"v": 1})
+    clock.now += 59.0
+    assert store.get(KEY) == {"v": 1}
+
+
+def test_bulk_eviction_only_removes_expired(store, clock):
+    store.put(KEY, {"v": "old"})
+    clock.now += 45.0
+    store.put(OTHER, {"v": "new"})
+    clock.now += 30.0                   # old is 75s, new is 30s
+    assert store.evict_expired() == 1
+    assert store.get(KEY) is None
+    assert store.get(OTHER) == {"v": "new"}
+
+
+def test_ttl_none_never_expires(tmp_path, clock):
+    store = ResultStore(str(tmp_path), ttl_seconds=None, clock=clock)
+    store.put(KEY, {"v": 1})
+    clock.now += 10 ** 9
+    assert store.get(KEY) == {"v": 1}
+    assert store.evict_expired() == 0
+
+
+def test_corrupt_record_is_a_miss_and_evictable(store, tmp_path):
+    path = tmp_path / "results" / f"{KEY}.json"
+    path.write_text("{ torn", encoding="utf-8")
+    assert store.get(KEY) is None
+    assert store.evict_expired() == 1
+    assert len(store) == 0
+
+
+def test_record_provenance_on_disk(store, clock, tmp_path):
+    store.put(KEY, {"v": 1})
+    record = json.loads(
+        (tmp_path / "results" / f"{KEY}.json").read_text())
+    assert record["key"] == KEY
+    assert record["stored_at"] == clock.now
+    assert record["payload"] == {"v": 1}
+
+
+def test_last_writer_wins(store):
+    store.put(KEY, {"v": 1})
+    store.put(KEY, {"v": 2})
+    assert store.get(KEY) == {"v": 2}
+    assert len(store) == 1
