@@ -107,12 +107,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.runner import RunSpec, execute
 
     config = config_by_name(args.config)
+    gear = args.gear
+    if gear is None and args.reference:
+        gear = "reference"
     spec = RunSpec(config=config, benchmark=args.benchmark,
                    measure=args.measure, warmup=args.warmup,
                    seed=args.seed, sanitize=args.sanitize,
                    check_invariants=args.paranoid,
                    fast_path=not args.reference,
-                   observe=args.observe)
+                   observe=args.observe, gear=gear)
     result = execute(spec)
     stats = result.stats
     print(f"benchmark        {args.benchmark}")
@@ -259,7 +262,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     benchmark = args.benchmark or profile.DEFAULT_BENCHMARK
     record = profile.run(benchmark=benchmark, seed=args.seed,
                          quick=args.quick, out=args.out)
-    return 0 if record["identical"] else 1
+    if not record["identical"]:
+        return 1
+    if args.min_specialized_speedup is not None:
+        floor = args.min_specialized_speedup
+        slow = [cell for cell in record["cells"]
+                if cell["specialized_speedup"] < floor]
+        if slow:
+            names = ", ".join(
+                f"{cell['config']} ({cell['specialized_speedup']:.2f}x)"
+                for cell in slow)
+            print(f"specialized gear below the {floor:.1f}x speedup "
+                  f"floor: {names}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def _cmd_microbench(args: argparse.Namespace) -> int:
@@ -387,7 +403,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                  seed=args.seed, passes=args.passes, out=args.out,
                  server_workers=args.workers or 2,
                  direct_workers=args.workers)
-    return 0 if record["identical"] else 1
+    return 0 if record["identical"] and not record["degraded"] else 1
 
 
 def _cmd_profiles(args: argparse.Namespace) -> int:
@@ -433,6 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--reference", action="store_true",
                     help="force the reference per-cycle stepper instead "
                          "of the event-horizon fast path")
+    ps.add_argument("--gear", default=None,
+                    choices=["reference", "horizon", "specialized"],
+                    help="main-loop gear: reference per-cycle stepper, "
+                         "event-horizon fast path, or the config-"
+                         "specialized stepper (falls back to the generic "
+                         "gears when its guards block; statistics are "
+                         "bit-identical either way).  Overrides "
+                         "--reference")
     ps.add_argument("--observe", action="store_true",
                     help="attach the observability layer (repro.obs) and "
                          "print the run's CPI stack; statistics stay "
@@ -464,8 +488,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     pc = sub.add_parser(
         "profile",
-        help="profile the core loop (reference vs event-horizon), "
-             "write BENCH_core.json")
+        help="profile the core loop (reference vs event-horizon vs "
+             "specialized), write BENCH_core.json")
     pc.add_argument("--benchmark", default=None,
                     choices=sorted(PROFILES),
                     help="trace to profile on (default: mcf, the most "
@@ -475,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--seed", type=int, default=1)
     pc.add_argument("--out", default="BENCH_core.json",
                     help="JSON record path")
+    pc.add_argument("--min-specialized-speedup", type=float, default=None,
+                    metavar="X",
+                    help="exit non-zero unless the specialized gear is "
+                         "at least X times faster than the reference "
+                         "stepper on every configuration (the CI "
+                         "perf-smoke gate)")
     pc.set_defaults(func=_cmd_profile)
 
     pk = sub.add_parser(

@@ -27,16 +27,21 @@ Wrong-path instructions are not simulated: a mispredicted branch stops
 instruction delivery until ``resolution_cycle + minimum_penalty``, which is
 the paper's own level of abstraction for the front end.
 
-The main loop has two gears.  The reference stepper (:meth:`Processor.step`)
-advances one cycle at a time; the *event-horizon* fast path
-(``fast_path=True``, the default) detects cycles where the machine provably
-does nothing - commit idle, no scheduler entry awake, rename stalled on a
-branch-penalty window, a full ROB/cluster, or an exhausted trace - and
-jumps ``cycle`` straight to the next event (earliest scheduler wake-up, the
-ROB head's completion, the rename-unblock cycle, a multiply/divide unit
-release), bulk-charging the per-cycle stall counters for the skipped range.
-Every statistic is bit-identical to the reference stepper; see
-``docs/architecture.md`` ("Performance") for the argument.
+The main loop has three gears.  The reference stepper
+(:meth:`Processor.step`) advances one cycle at a time; the *event-horizon*
+fast path (``fast_path=True``, the default) detects cycles where the
+machine provably does nothing - commit idle, no scheduler entry awake,
+rename stalled on a branch-penalty window, a full ROB/cluster, or an
+exhausted trace - and jumps ``cycle`` straight to the next event (earliest
+scheduler wake-up, the ROB head's completion, the rename-unblock cycle, a
+multiply/divide unit release), bulk-charging the per-cycle stall counters
+for the skipped range.  The third gear (``gear="specialized"``,
+:mod:`repro.core.specialize`) compiles a run loop specialized to the
+frozen configuration - constants baked in, per-cycle dispatch flattened,
+the event-horizon jump inlined - and falls back to the generic gears
+mid-run when a guard condition (a deadlock-breaking move) leaves the
+specialized envelope.  Every statistic is bit-identical across all three
+gears; see ``docs/architecture.md`` ("Performance") for the argument.
 
 Typical use::
 
@@ -94,10 +99,22 @@ class Processor:
         fast_path: bool = True,
         observe: bool = False,
         tracer=None,
+        gear: Optional[str] = None,
     ) -> None:
         config.validate()
         self.config = config
         self.check_invariants = check_invariants
+        # Gear selection: ``gear`` is the explicit three-speed knob
+        # ("reference" | "horizon" | "specialized"); when omitted the
+        # legacy ``fast_path`` flag picks between the first two.
+        if gear is not None:
+            from repro.core.specialize import GEARS
+
+            if gear not in GEARS:
+                raise ConfigError(
+                    f"unknown gear {gear!r}; expected one of {GEARS}")
+            fast_path = gear != "reference"
+        self.requested_gear = gear
         # Implementation-1 renaming stages/recycles registers every cycle
         # even when nothing renames, so its free-list state is not
         # invariant across a dead-cycle window: the event horizon only
@@ -197,6 +214,23 @@ class Processor:
 
             self.obs = Observer(self, tracer=tracer)
 
+        # Third gear: the config-specialized stepper (repro.core.
+        # specialize).  Built last so its entry guards see the fully
+        # assembled machine; blocked processors (sanitized, observed,
+        # rename_impl=1, paranoid WSRS checking) silently keep the
+        # generic gears - the ``gear`` attribute reports what actually
+        # engaged.  ``despecializations`` counts mid-run guard trips.
+        self._specialized_run = None
+        self.despecializations = 0
+        if gear == "specialized":
+            from repro.core.specialize import build_specialized_runner
+
+            self._specialized_run = build_specialized_runner(self)
+        if self._specialized_run is not None:
+            self.gear = "specialized"
+        else:
+            self.gear = "horizon" if self.fast_path else "reference"
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -225,6 +259,18 @@ class Processor:
         # full ROB), which a raw-cycle watchdog would misread as a hang.
         # On the reference stepper every event is one cycle, so the
         # threshold is exactly the historical cycle-based one.
+        runner = self._specialized_run
+        if runner is not None:
+            if runner(committed_target):
+                return
+            # A specialization guard tripped (deadlock-breaking move):
+            # the specialized stepper finished the trip cycle with
+            # reference semantics and wrote all state back, so the
+            # generic gears resume mid-run without divergence.  The
+            # despecialization is permanent for this processor.
+            self._specialized_run = None
+            self.despecializations += 1
+            self.gear = "horizon" if self.fast_path else "reference"
         idle_events = 0
         last_committed = self.stats.committed
         fast = self.fast_path
@@ -742,10 +788,11 @@ def simulate(
     fast_path: bool = True,
     observe: bool = False,
     tracer=None,
+    gear: Optional[str] = None,
 ) -> SimulationStats:
     """One-call convenience wrapper around :class:`Processor`."""
     processor = Processor(config, trace, predictor=predictor,
                           check_invariants=check_invariants,
                           sanitize=sanitize, fast_path=fast_path,
-                          observe=observe, tracer=tracer)
+                          observe=observe, tracer=tracer, gear=gear)
     return processor.run(measure=measure, warmup=warmup)

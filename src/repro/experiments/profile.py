@@ -2,22 +2,24 @@
 
 Where :mod:`repro.experiments.throughput` measures the *sweep engine*
 (cells/min across a process pool), this module measures the *core
-simulation loop* itself: one cell per section-5 configuration, run twice
-on the same pre-materialised trace - once with the reference per-cycle
-stepper and once with the event-horizon fast path - and cross-checked
-for bit-identical statistics.  The record keeps the speedup a tracked
-artifact instead of a claim:
+simulation loop* itself: one cell per section-5 configuration, run three
+times on the same pre-materialised trace - reference per-cycle stepper,
+event-horizon fast path, and the config-specialized stepper
+(:mod:`repro.core.specialize`) - and cross-checked for bit-identical
+statistics.  The record keeps the speedups tracked artifacts instead of
+claims:
 
 * **sim-KIPS per gear** - thousands of simulated instructions retired
-  per second of wall-clock, reference vs. event-horizon;
-* **speedup / jumps / cycles skipped** - how often the horizon fires
-  and what it saves;
+  per second of wall-clock, for each of the three gears;
+* **speedup** - event-horizon/reference and specialized/reference
+  ratios, plus how often the horizon fires and what it saves;
 * **identical** - full ``SimulationStats`` summary plus the per-cluster
-  histograms compared across gears (any divergence is a bug, and the
-  CLI exits non-zero);
+  histograms compared across all three gears (any divergence is a bug,
+  and the CLI exits non-zero);
 * **stage breakdown** - cProfile over one event-horizon run, split into
   the pipeline stages (commit/issue/rename/horizon) plus the hottest
-  individual functions.
+  individual functions (the specialized gear is one generated frame, so
+  stage attribution only exists for the generic gears).
 
 The default trace is **mcf** on every configuration: it is the suite's
 most stall-dominated workload (mispredict rate within noise of gcc's
@@ -25,8 +27,9 @@ top rate, plus pointer-chase memory misses), i.e. the cell where dead
 cycles - and therefore the event horizon - matter most.
 
 ``python -m repro profile [--quick] [--out PATH]`` writes the JSON
-record; the CI perf-smoke job archives it and fails on divergence (the
-speed numbers themselves are informational).
+record; the CI perf-smoke job archives it and fails on divergence or on
+a specialized/reference speedup below its floor (the remaining speed
+numbers are informational).
 """
 
 from __future__ import annotations
@@ -76,8 +79,12 @@ def _fingerprint(stats: SimulationStats) -> Tuple:
 
 def _timed_run(config: MachineConfig, trace: Sequence,
                measure: int, warmup: int,
-               fast_path: bool) -> Tuple[Processor, SimulationStats, float]:
-    processor = Processor(config, iter(trace), fast_path=fast_path)
+               gear: str) -> Tuple[Processor, SimulationStats, float]:
+    # check_invariants off, matching sweep cells (RunSpec's default) -
+    # and required for the specialized gear to engage on WSRS
+    # configurations (the paranoid per-uop checks are an entry guard).
+    processor = Processor(config, iter(trace), gear=gear,
+                          check_invariants=False)
     start = time.perf_counter()
     stats = processor.run(measure=measure, warmup=warmup)
     return processor, stats, time.perf_counter() - start
@@ -150,10 +157,14 @@ def run(
     all_identical = True
     for config in configs:
         _, ref_stats, ref_seconds = _timed_run(
-            config, trace, measure, warmup, fast_path=False)
+            config, trace, measure, warmup, gear="reference")
         fast_proc, fast_stats, fast_seconds = _timed_run(
-            config, trace, measure, warmup, fast_path=True)
-        identical = _fingerprint(ref_stats) == _fingerprint(fast_stats)
+            config, trace, measure, warmup, gear="horizon")
+        spec_proc, spec_stats, spec_seconds = _timed_run(
+            config, trace, measure, warmup, gear="specialized")
+        ref_print = _fingerprint(ref_stats)
+        identical = (ref_print == _fingerprint(fast_stats)
+                     and ref_print == _fingerprint(spec_stats))
         all_identical &= identical
         simulated = fast_stats.committed + warmup
         cells.append({
@@ -163,12 +174,19 @@ def run(
             "cycles": fast_stats.cycles,
             "reference_s": round(ref_seconds, 3),
             "event_horizon_s": round(fast_seconds, 3),
+            "specialized_s": round(spec_seconds, 3),
             "reference_kips": round(simulated / ref_seconds / 1000.0, 1)
             if ref_seconds else 0.0,
             "event_horizon_kips": round(simulated / fast_seconds / 1000.0, 1)
             if fast_seconds else 0.0,
+            "specialized_kips": round(simulated / spec_seconds / 1000.0, 1)
+            if spec_seconds else 0.0,
             "speedup": round(ref_seconds / fast_seconds, 2)
             if fast_seconds else 0.0,
+            "specialized_speedup": round(ref_seconds / spec_seconds, 2)
+            if spec_seconds else 0.0,
+            "specialized_gear": spec_proc.gear,
+            "despecializations": spec_proc.despecializations,
             "horizon_jumps": fast_proc.horizon_jumps,
             "cycles_skipped": fast_proc.horizon_cycles_skipped,
         })
@@ -199,15 +217,16 @@ def format_record(record: Dict, out: Optional[str] = None) -> str:
         f"core profile: {record['benchmark']} "
         f"({record['measure']:,} measured / {record['warmup']:,} warm-up"
         f"{', quick' if record['quick'] else ''})",
-        f"  {'config':<16s}{'ref KIPS':>10s}{'horizon KIPS':>14s}"
-        f"{'speedup':>9s}{'jumps':>8s}{'skipped':>9s}  identical",
+        f"  {'config':<16s}{'ref KIPS':>10s}{'horizon':>9s}"
+        f"{'special':>9s}{'h-speed':>9s}{'s-speed':>9s}  identical",
     ]
     for cell in record["cells"]:
         lines.append(
             f"  {cell['config']:<16s}{cell['reference_kips']:>10.1f}"
-            f"{cell['event_horizon_kips']:>14.1f}"
-            f"{cell['speedup']:>8.2f}x{cell['horizon_jumps']:>8d}"
-            f"{cell['cycles_skipped']:>9d}  "
+            f"{cell['event_horizon_kips']:>9.1f}"
+            f"{cell['specialized_kips']:>9.1f}"
+            f"{cell['speedup']:>8.2f}x"
+            f"{cell['specialized_speedup']:>8.2f}x  "
             f"{'yes' if cell['identical'] else 'NO - DIVERGED'}")
     stages = record["stage_breakdown"]["stages_cum_s"]
     if stages:

@@ -85,6 +85,11 @@ class RunSpec:
     #: result then carries :attr:`RunResult.obs`; every statistic stays
     #: bit-identical to an unobserved run.
     observe: bool = False
+    #: Explicit main-loop gear ("reference" | "horizon" | "specialized");
+    #: ``None`` keeps the legacy ``fast_path`` selection between the
+    #: first two.  The specialized gear falls back to the generic loop
+    #: when its guards block or trip (statistics stay bit-identical).
+    gear: Optional[str] = None
 
     @property
     def trace_length(self) -> int:
@@ -171,7 +176,8 @@ def execute(spec: RunSpec) -> RunResult:
                           check_invariants=spec.check_invariants,
                           sanitize=True if spec.sanitize else None,
                           fast_path=spec.fast_path,
-                          observe=spec.observe)
+                          observe=spec.observe,
+                          gear=spec.gear)
     stats = processor.run(measure=spec.measure, warmup=spec.warmup)
     obs = processor.obs.snapshot() if processor.obs is not None else None
     return RunResult(spec=spec, stats=stats, obs=obs)

@@ -5,18 +5,23 @@ scheduler's admission control expects from well-behaved callers:
 
 * **Load sheds (429/503)** honour the server's ``Retry-After`` hint -
   the server computes it from its observed job latency and backlog, so
-  sleeping that long converts overload into queueing delay.  A small
-  seeded jitter is added so a thundering herd of shed clients does not
-  re-arrive in lockstep.
+  sleeping that long converts overload into queueing delay.  The hint
+  is a *floor*, not the whole answer: the capped exponential term for
+  the current attempt rides on top (repeat sheds spread out instead of
+  re-arriving at hint boundaries), plus a jitter proportional to the
+  whole delay so a herd of shed clients desynchronises.
 * **Transport errors** (connection refused/reset mid-handshake) retry
   with capped exponential backoff plus the same jitter.
 * Both retry loops share one attempt budget; exhausting it raises
   :class:`ServiceSaturated` (sheds) or :class:`ServiceUnavailable`
   (transport), keeping the failure cause diagnosable.
 
-Randomness comes from a per-instance ``random.Random(seed)`` - the
-repo-wide determinism rule (``LINT-RANDOM``) - so a load test's retry
-timing is reproducible.
+Randomness comes from a per-instance ``random.Random`` seeded from
+``(seed, client_id)`` - deterministic per identity (the repo-wide
+``LINT-RANDOM`` rule, so a load test's retry timing is reproducible)
+yet distinct across clients, which is what actually breaks the herd:
+with a shared stream every client sharing a default seed would draw
+the *same* jitter and re-arrive in lockstep anyway.
 """
 
 from __future__ import annotations
@@ -64,7 +69,9 @@ class ServiceClient:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._sleep = sleep
-        self._rng = random.Random(seed)
+        # Seeded per (seed, identity): reproducible for a given client,
+        # distinct across clients even when they share the default seed.
+        self._rng = random.Random(f"{seed}:{client_id}")
         #: Observability for load tests: sheds seen and seconds slept.
         self.sheds_seen = 0
         self.transport_retries = 0
@@ -101,10 +108,13 @@ class ServiceClient:
                  retry_after: Optional[float] = None) -> None:
         delay = min(self.backoff_cap,
                     self.backoff_base * (2.0 ** attempt))
-        jitter = self._rng.uniform(0, delay / 2.0)
         if retry_after is not None:
-            delay = max(retry_after, self.backoff_base)
-        pause = delay + jitter
+            # The server hint is a floor the exponential term rides on
+            # top of; jitter below is drawn from the combined delay so
+            # its spread scales with the hint rather than staying a
+            # fixed sliver of the (possibly much smaller) base.
+            delay += max(0.0, retry_after)
+        pause = delay + self._rng.uniform(0.0, delay / 2.0)
         self.backoff_slept += pause
         self._sleep(pause)
 

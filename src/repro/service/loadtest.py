@@ -27,6 +27,7 @@ monitoring job never reads a torn benchmark file.
 
 from __future__ import annotations
 
+import math
 import tempfile
 import threading
 import time
@@ -45,14 +46,24 @@ DEFAULT_BENCHMARKS = ("gzip", "mcf")
 DEFAULT_CONFIGS = ("RR 256", "WSRS RC S 512")
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 1]) of a non-empty sequence."""
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """True nearest-rank percentile (q in [0, 1]).
+
+    Returns ``None`` for an empty sequence: an all-shed pass has *no*
+    latency, not a perfect 0.0 ms one, and the record must say so
+    rather than masking the outage with flattering numbers.
+    """
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
-    rank = min(len(ordered) - 1,
-               max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+    if q <= 0.0:
+        return ordered[0]
+    rank = min(len(ordered), math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _round_ms(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 3)
 
 
 def _job_requests(benchmarks: Sequence[str], configs: Sequence[str],
@@ -69,16 +80,20 @@ def _job_requests(benchmarks: Sequence[str], configs: Sequence[str],
 
 
 def _drive_pass(url: str, requests: List[Dict], clients: int,
-                poll_interval: float, timeout: float,
-                seed: int) -> Tuple[List[Dict], List[float], int, float]:
+                poll_interval: float, timeout: float, seed: int
+                ) -> Tuple[List[Dict], List[float], int, float,
+                           List[str]]:
     """One pass: round-robin the requests over ``clients`` threads.
 
-    Returns (terminal job records in request order, per-job latencies in
-    ms, sheds seen, wall seconds).
+    Returns (terminal job records of the *completed* jobs in request
+    order, their latencies in ms, sheds seen, wall seconds, failure
+    descriptions).  A job that sheds out or fails does not abort the
+    pass - the remaining jobs still run, and the caller reports the
+    pass as degraded instead of masking the outage.
     """
     records: List[Optional[Dict]] = [None] * len(requests)
     latencies: List[Optional[float]] = [None] * len(requests)
-    errors: List[BaseException] = []
+    failures: List[str] = []
     workers: List[threading.Thread] = []
     handles = [
         ServiceClient(url, client_id=f"loadtest-{index}",
@@ -94,9 +109,9 @@ def _drive_pass(url: str, requests: List[Dict], clients: int,
                 record = client.submit_and_wait(
                     requests[index], poll_interval=poll_interval,
                     timeout=timeout)
-            except BaseException as exc:
-                errors.append(exc)
-                return
+            except Exception as exc:
+                failures.append(f"job {index}: {exc!r}")
+                continue
             records[index] = record
             latencies[index] = (time.monotonic() - begin) * 1000.0
 
@@ -109,14 +124,10 @@ def _drive_pass(url: str, requests: List[Dict], clients: int,
     for thread in workers:
         thread.join()
     wall = time.monotonic() - wall_start
-    if errors:
-        raise errors[0]
     sheds = sum(client.sheds_seen for client in handles)
-    assert all(record is not None for record in records)
-    assert all(latency is not None for latency in latencies)
     return ([record for record in records if record is not None],
             [latency for latency in latencies if latency is not None],
-            sheds, wall)
+            sheds, wall, failures)
 
 
 def _scrape_counter(metrics_text: str, name: str) -> int:
@@ -161,6 +172,10 @@ def run(url: Optional[str] = None, clients: int = 4,
     directory, ``server_workers`` pool processes) hosts the test.  The
     record's ``identical`` field is the acceptance gate: every cell the
     service returned, on every pass, bit-identical to direct execution.
+    ``degraded`` flags a run where some job never completed (shed past
+    the retry budget, failed, or unreachable); such a pass reports
+    ``null`` latency percentiles over the jobs that never finished
+    rather than pretending they were instant.
     """
     if passes < 1:
         raise ValueError("passes must be >= 1")
@@ -180,7 +195,7 @@ def run(url: Optional[str] = None, clients: int = 4,
         pass_records: List[Dict] = []
         all_pass_cells: List[List[Dict]] = []
         for pass_index in range(passes):
-            records, latencies, sheds, wall = _drive_pass(
+            records, latencies, sheds, wall, failures = _drive_pass(
                 url, requests, clients, poll_interval, job_timeout,
                 seed + pass_index)
             cells = [cell
@@ -188,15 +203,22 @@ def run(url: Optional[str] = None, clients: int = 4,
                      for cell in record["result"]["cells"]]
             all_pass_cells.append(cells)
             submissions = len(requests) + sheds
+            completed = len(records)
+            degraded = completed < len(requests)
             pass_records.append({
                 "jobs": len(requests),
+                "completed": completed,
+                "failures": failures,
+                "degraded": degraded,
                 "wall_seconds": round(wall, 3),
                 "throughput_jobs_per_s":
-                    round(len(requests) / wall, 3) if wall else 0.0,
+                    round(completed / wall, 3) if wall else 0.0,
+                # None (JSON null) when nothing completed: an all-shed
+                # pass has no latency, not a flattering 0.0 ms one.
                 "latency_ms": {
-                    "p50": round(percentile(latencies, 0.50), 3),
-                    "p95": round(percentile(latencies, 0.95), 3),
-                    "p99": round(percentile(latencies, 0.99), 3),
+                    "p50": _round_ms(percentile(latencies, 0.50)),
+                    "p95": _round_ms(percentile(latencies, 0.95)),
+                    "p99": _round_ms(percentile(latencies, 0.99)),
                 },
                 "sheds": sheds,
                 "shed_rate": round(sheds / submissions, 4)
@@ -204,11 +226,14 @@ def run(url: Optional[str] = None, clients: int = 4,
                 "cached_jobs": sum(1 for record in records
                                    if record.get("cached")),
             })
+            p95 = pass_records[-1]["latency_ms"]["p95"]
             announce(f"loadtest: pass {pass_index + 1}/{passes} - "
                      f"{pass_records[-1]['throughput_jobs_per_s']} "
                      f"jobs/s, p95 "
-                     f"{pass_records[-1]['latency_ms']['p95']:.0f} ms, "
-                     f"{sheds} shed(s)")
+                     f"{'n/a' if p95 is None else format(p95, '.0f')} "
+                     f"ms, {sheds} shed(s)"
+                     + (f", DEGRADED ({completed}/{len(requests)} "
+                        f"completed)" if degraded else ""))
 
         metrics_text = ServiceClient(url, client_id="loadtest").metrics()
         cache_hits = _scrape_counter(metrics_text,
@@ -218,6 +243,8 @@ def run(url: Optional[str] = None, clients: int = 4,
         direct = _direct_cells(benchmarks, configs, measure, warmup,
                                seed, direct_workers)
         identical = all(cells == direct for cells in all_pass_cells)
+        degraded = any(pass_record["degraded"]
+                       for pass_record in pass_records)
         record = {
             "benchmark": "service-loadtest",
             "clients": clients,
@@ -228,12 +255,14 @@ def run(url: Optional[str] = None, clients: int = 4,
             "passes": pass_records,
             "cache_hits": cache_hits,
             "identical": identical,
+            "degraded": degraded,
         }
         if out:
             atomic_write_json(out, record, indent=2)
             announce(f"loadtest: wrote {out}")
         announce(f"loadtest: identical={identical} "
-                 f"cache_hits={cache_hits}")
+                 f"cache_hits={cache_hits}"
+                 + (" degraded=True" if degraded else ""))
         return record
     finally:
         if own_server is not None:

@@ -33,13 +33,17 @@ registers between subsets without passing through the dispatch/commit
 lifecycle; the sanitizer re-synchronises its shadow state from the map
 table whenever the renamer reports new moves, using free-list membership
 to distinguish genuinely freed registers from previous mappings that are
-merely awaiting their commit-time free.
+merely awaiting their commit-time free.  Registers freed *by* a move are
+individually exempted from the use-after-free check until their next
+allocation - a reader renamed before the move may legitimately consume
+the old copy afterwards - while every other register keeps the full
+check armed for the remainder of the run.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import MachineConfig
 from repro.errors import VerificationError
@@ -136,6 +140,10 @@ class PipelineSanitizer:
         # destination, and (result_cycle, cluster) once it has issued.
         self._writer_cluster: Dict[int, int] = {}
         self._result_info: Dict[int, Tuple[int, int]] = {}
+        # Registers a deadlock-breaking move freed out from under
+        # already-renamed readers: use-after-free is undecidable for
+        # these until their next allocation starts a fresh lifecycle.
+        self._uaf_exempt: Set[int] = set()
 
     # -- geometry -------------------------------------------------------
 
@@ -166,6 +174,14 @@ class PipelineSanitizer:
             # freshly installed destination must keep its pre-rename
             # (free) state during the resync.
             self._resync_architected(exclude=uop.pdest)
+            if uop.pdest is not None \
+                    and self._state[uop.pdest] == STATE_ARCH:
+                # The destination still reads as architected: the move
+                # freed it and the same renamer call re-allocated it
+                # before any hook could witness the free.  End its old
+                # architected life here so the allocation below starts
+                # a clean one.
+                self._set_state(uop.pdest, STATE_FREE)
         cluster = uop.cluster
         pdest = uop.pdest
         if pdest is not None:
@@ -218,6 +234,8 @@ class PipelineSanitizer:
         """Issue-time checks: read legality, fast-forward timing, operand
         liveness; records the result timing of the produced register."""
         self.checks += 1
+        if self.renamer.deadlock_moves != self._seen_moves:
+            self._resync_architected()
         cluster = uop.cluster
         if self._mapping is not None:
             first = uop.first_port_operand
@@ -235,12 +253,12 @@ class PipelineSanitizer:
         for psrc in (uop.psrc1, uop.psrc2):
             if psrc is None:
                 continue
-            # Use-after-free is only decidable while no deadlock moves
-            # have rewritten the map behind the dispatched readers (the
-            # move is an abstraction of a real move uop; the simulator
-            # performs it instantaneously).
+            # A register a move freed behind already-dispatched readers
+            # (the move is an abstraction of a real move uop, performed
+            # instantaneously) is exempt until it is re-allocated; every
+            # other free register keeps the check armed.
             if self._state[psrc] == STATE_FREE \
-                    and self.renamer.deadlock_moves == 0:
+                    and psrc not in self._uaf_exempt:
                 self._fail(
                     "SAN-REG-STATE",
                     f"source p{psrc} read while on the free list "
@@ -338,6 +356,11 @@ class PipelineSanitizer:
             self._free_counts[file_id][subset] -= 1
         if state == STATE_FREE:
             self._free_counts[file_id][subset] += 1
+        else:
+            # Leaving the free pool starts a new lifecycle: the
+            # use-after-free check re-arms for this register even if a
+            # past deadlock move had exempted it.
+            self._uaf_exempt.discard(preg)
         self._state[preg] = state
 
     def _resync_architected(self, exclude: Optional[int] = None) -> None:
@@ -372,3 +395,7 @@ class PipelineSanitizer:
                     subset = offset // reg_class.subset_size
                     if offset in reg_class.free_lists[subset]:
                         self._set_state(preg, STATE_FREE)
+                        # Freed by the move itself, not by a commit:
+                        # readers renamed before the move may still
+                        # legitimately consume the old copy.
+                        self._uaf_exempt.add(preg)

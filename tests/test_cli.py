@@ -138,5 +138,6 @@ class TestCommands:
             assert cell["identical"] is True
             assert cell["event_horizon_kips"] > 0
         output = capsys.readouterr().out
-        assert "speedup" in output
+        assert "h-speed" in output
+        assert "s-speed" in output
         assert "DIVERGED" not in output

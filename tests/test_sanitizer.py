@@ -14,7 +14,7 @@ id and the cycle/uop provenance.
 
 import pytest
 
-from repro.config import config_by_name, figure4_configs, wsrs_rc
+from repro.config import config_by_name, figure4_configs, ws_rr, wsrs_rc
 from repro.core.processor import Processor
 from repro.errors import VerificationError
 from repro.frontend.predictors import make_predictor
@@ -130,6 +130,109 @@ class TestViolationDetection:
 
     def test_violation_is_a_verification_error(self):
         assert issubclass(SanitizerViolation, VerificationError)
+
+
+class TestPostMoveRearm:
+    """Deadlock-breaking moves must not permanently disarm SAN-REG-STATE.
+
+    A move frees registers out from under already-renamed readers, so
+    *those* registers are exempt from the use-after-free check until
+    their next allocation - but the check (and the double-free check)
+    must stay armed for every other register afterwards.
+    """
+
+    def _run_past_moves(self):
+        # 21 integer registers per subset against 64 logical registers:
+        # subsets regularly choke on fully-architected state and the
+        # moves workaround fires.
+        config = ws_rr(84, deadlock_policy="moves",
+                       fp_physical_registers=160)
+        processor = _sanitized_processor(config, spec_trace("gcc", SLICE))
+        processor.run(measure=MEASURE, warmup=WARMUP)
+        assert processor.renamer.deadlock_moves > 0
+        return processor
+
+    def test_sanitized_moves_run_is_clean(self):
+        # The exemption must be exactly wide enough: readers renamed
+        # before a move may consume the moved-away copy afterwards
+        # without a spurious use-after-free.
+        processor = self._run_past_moves()
+        assert processor.sanitizer.checks > 0
+
+    def test_post_move_double_free_still_raises(self):
+        processor = self._run_past_moves()
+        sanitizer = processor.sanitizer
+        free_preg = next(p for p in range(len(sanitizer._state))
+                         if sanitizer.state_of(p) == STATE_FREE)
+
+        class ForgedCommit:
+            seq = 424242
+            pdest = None
+            pold = free_preg
+            dest = None
+
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.on_commit(ForgedCommit(), cycle=777)
+        assert excinfo.value.rule == "SAN-REG-STATE"
+        assert "double free" in str(excinfo.value)
+
+    def test_post_move_use_after_free_still_raises(self):
+        processor = self._run_past_moves()
+        sanitizer = processor.sanitizer
+        free_preg = next(p for p in range(len(sanitizer._state))
+                         if sanitizer.state_of(p) == STATE_FREE
+                         and p not in sanitizer._uaf_exempt)
+
+        class ForgedIssue:
+            seq = 515151
+            cluster = 0
+            pdest = None
+            psrc1 = free_preg
+            psrc2 = None
+
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.on_issue(ForgedIssue(), cycle=888)
+        assert excinfo.value.rule == "SAN-REG-STATE"
+        assert "use after free" in str(excinfo.value)
+
+    def test_exemption_ends_at_reallocation(self):
+        # A move-freed register may be read without complaint, but once
+        # it is re-allocated its next full free/read lifecycle must trip
+        # the re-armed check.
+        processor = self._run_past_moves()
+        sanitizer = processor.sanitizer
+        preg = next(p for p in range(len(sanitizer._state))
+                    if sanitizer.state_of(p) == STATE_FREE)
+        sanitizer._uaf_exempt.add(preg)
+
+        class Uop:
+            seq = 616161
+            cluster = sanitizer.locate(preg)[1]
+            dest = None
+            pdest = None
+            pold = None
+            psrc1 = None
+            psrc2 = None
+            first_port_operand = None
+            second_port_operand = None
+
+        read = Uop()
+        read.psrc1 = preg
+        sanitizer.on_issue(read, cycle=900)  # exempt: no violation
+
+        alloc = Uop()
+        alloc.pdest = preg
+        sanitizer.on_dispatch(alloc, cycle=901)
+        commit = Uop()
+        commit.pdest = preg
+        sanitizer.on_commit(commit, cycle=902)
+        free = Uop()
+        free.pold = preg
+        sanitizer.on_commit(free, cycle=903)
+
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.on_issue(read, cycle=904)
+        assert "use after free" in str(excinfo.value)
 
 
 class TestActivation:

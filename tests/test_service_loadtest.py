@@ -10,14 +10,24 @@ from repro.service.loadtest import percentile, run
 
 
 class TestPercentile:
-    def test_empty_is_zero(self):
-        assert percentile([], 0.95) == 0.0
+    def test_empty_is_none(self):
+        # An empty sample has no latency - 0.0 would let an all-shed
+        # pass report perfect percentiles.
+        assert percentile([], 0.95) is None
+        assert percentile([], 0.0) is None
 
     def test_nearest_rank_endpoints(self):
         values = [5.0, 1.0, 3.0]
         assert percentile(values, 0.0) == 1.0
         assert percentile(values, 0.5) == 3.0
         assert percentile(values, 1.0) == 5.0
+
+    def test_true_nearest_rank(self):
+        # ceil(q*N), 1-based: the median of four samples is the 2nd,
+        # not the 3rd (which round-half-even interpolation would give).
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.51) == 3.0
+        assert percentile(list(range(1, 101)), 0.95) == 95
 
     def test_single_value(self):
         assert percentile([7.0], 0.99) == 7.0
@@ -49,8 +59,12 @@ class TestMiniLoadtest:
         record, out, _messages = record_and_path
         assert record["benchmark"] == "service-loadtest"
         assert len(record["passes"]) == 2
+        assert record["degraded"] is False
         for pass_record in record["passes"]:
             assert pass_record["jobs"] == record["cells"]
+            assert pass_record["completed"] == pass_record["jobs"]
+            assert pass_record["degraded"] is False
+            assert pass_record["failures"] == []
             assert pass_record["throughput_jobs_per_s"] > 0
             latency = pass_record["latency_ms"]
             assert latency["p50"] <= latency["p95"] <= latency["p99"]
@@ -68,3 +82,28 @@ class TestMiniLoadtest:
 def test_rejects_zero_passes():
     with pytest.raises(ValueError):
         run(passes=0)
+
+
+def test_all_shed_pass_reports_null_latency(monkeypatch):
+    """A pass where no job completes must say so - null percentiles and
+    a degraded flag - instead of masking the outage as 0.0 ms."""
+    from repro.service import loadtest
+    from repro.service.client import ServiceSaturated
+
+    class SheddingClient(loadtest.ServiceClient):
+        def submit_and_wait(self, request, **kwargs):
+            self.sheds_seen += 1
+            raise ServiceSaturated("submission shed past the budget")
+
+    monkeypatch.setattr(loadtest, "ServiceClient", SheddingClient)
+    record = loadtest.run(clients=2, benchmarks=("gzip",),
+                          configs=("RR 256",), measure=800, warmup=200,
+                          seed=1, passes=1, out=None, server_workers=1,
+                          direct_workers=1, announce=lambda line: None)
+    assert record["degraded"] is True
+    assert record["identical"] is False
+    pass_record = record["passes"][0]
+    assert pass_record["completed"] == 0
+    assert pass_record["failures"]
+    assert pass_record["latency_ms"] == {"p50": None, "p95": None,
+                                         "p99": None}

@@ -157,6 +157,58 @@ class TestProtocolEdges:
             connection.close()
 
 
+class TestBackoffJitter:
+    """Unit-level backoff discipline (no socket): the Retry-After hint
+    must not synchronise a herd of clients into lockstep re-arrival."""
+
+    @staticmethod
+    def _client(client_id, seed=0):
+        pauses = []
+        client = ServiceClient("http://127.0.0.1:1", client_id=client_id,
+                               seed=seed, sleep=pauses.append)
+        return client, pauses
+
+    def test_same_hint_distinct_clients_distinct_delays(self):
+        hint = 2.0
+        pauses = []
+        for index in range(8):
+            client, slept = self._client(f"worker-{index}")
+            client._backoff(0, retry_after=hint)
+            pauses.append(slept[0])
+        # All clients share the default seed and the same server hint,
+        # yet every delay must differ (seeded per identity) and honour
+        # the hint as a floor.
+        assert len(set(pauses)) == len(pauses)
+        assert all(pause >= hint for pause in pauses)
+
+    def test_backoff_is_reproducible_per_identity(self):
+        first, slept_a = self._client("same", seed=9)
+        second, slept_b = self._client("same", seed=9)
+        for attempt in range(3):
+            first._backoff(attempt, retry_after=1.0)
+            second._backoff(attempt, retry_after=1.0)
+        assert slept_a == slept_b
+
+    def test_attempt_scaling_rides_on_the_hint(self):
+        client, slept = self._client("scaling")
+        client.backoff_cap = 64.0
+        for attempt in range(6):
+            client._backoff(attempt, retry_after=1.0)
+        # The exponential term grows with the attempt even while the
+        # hint stays constant, so repeat sheds spread out; each pause
+        # still honours the hint.
+        floors = [1.0 + client.backoff_base * (2.0 ** attempt)
+                  for attempt in range(6)]
+        assert all(pause >= floor
+                   for pause, floor in zip(slept, floors))
+        assert slept[-1] > slept[0]
+
+    def test_transport_backoff_still_capped(self):
+        client, slept = self._client("capped")
+        client._backoff(30)  # no hint: pure exponential, capped
+        assert slept[0] <= client.backoff_cap * 1.5
+
+
 class TestBackoffDiscipline:
     def test_client_rides_out_saturation_with_retry_after(self):
         """ISSUE satellite: submit-while-saturated is shed with a
