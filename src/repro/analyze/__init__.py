@@ -1,0 +1,53 @@
+"""Unified static-analysis framework for the WS/RS repository.
+
+A pluggable pass registry (:mod:`repro.analyze.framework`) unifies
+every static check the repo runs - determinism lint, docs freshness,
+the WS/RS config invariant rules, the SPEC-EQUIV codegen equivalence
+checker for the config-specialized stepper, and the ASYNC-HAZARD
+concurrency lint for the job service - behind one driver with text /
+JSON / SARIF 2.1.0 output and a committed finding baseline
+(``analysis-baseline.json``) so legacy findings never block CI.
+
+See ``docs/static-analysis.md`` for the pass-author and baseline
+workflow.
+"""
+
+from repro.analyze.baseline import (
+    DEFAULT_BASELINE_NAME,
+    fingerprint,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analyze.driver import run_analysis
+from repro.analyze.framework import (
+    AnalysisContext,
+    AnalysisPass,
+    Finding,
+    all_passes,
+    analysis_pass,
+    filter_suppressed,
+    get_pass,
+    load_passes,
+    run_passes,
+)
+from repro.analyze.sarif import to_sarif
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "all_passes",
+    "analysis_pass",
+    "filter_suppressed",
+    "fingerprint",
+    "get_pass",
+    "load_baseline",
+    "load_passes",
+    "partition",
+    "run_analysis",
+    "run_passes",
+    "to_sarif",
+    "write_baseline",
+]

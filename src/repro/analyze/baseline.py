@@ -1,0 +1,92 @@
+"""Committed-baseline workflow: legacy findings don't block CI.
+
+The baseline file (``analysis-baseline.json`` at the repository root)
+records a fingerprint per accepted finding.  ``wsrs analyze`` fails only
+on *novel* gating findings - anything already fingerprinted in the
+baseline is reported as suppressed (and marked with a SARIF
+``suppressions`` entry) instead of failing the run.  The workflow:
+
+1. ``wsrs analyze`` reports new findings and exits non-zero;
+2. fix them, or accept the legacy ones with
+   ``wsrs analyze --write-baseline``;
+3. commit the regenerated baseline file; CI is green again and any
+   *new* finding still fails.
+
+Fingerprints hash the pass, rule, normalized path and message - not the
+line number - so unrelated edits that shift a finding up or down the
+file do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analyze.framework import Finding
+
+#: Baseline schema version (bumped on incompatible format changes).
+BASELINE_VERSION = 1
+
+#: Default baseline file name, resolved against the analysis root.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-independent identity of a finding."""
+    identity = "|".join((finding.pass_name, finding.rule,
+                         finding.path.replace("\\", "/"),
+                         finding.message))
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict]:
+    """fingerprint -> baseline entry; empty when the file is absent."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this analyzer writes version {BASELINE_VERSION} "
+            f"(regenerate with --write-baseline)")
+    return {entry["fingerprint"]: entry for entry in data["findings"]}
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Sequence[Finding]) -> int:
+    """Accept ``findings`` as the new baseline; returns the entry count."""
+    entries = {}
+    for finding in findings:
+        print_ = fingerprint(finding)
+        entries[print_] = {
+            "fingerprint": print_,
+            "pass": finding.pass_name,
+            "rule": finding.rule,
+            "path": finding.path.replace("\\", "/"),
+            "message": finding.message,
+            "severity": finding.severity,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "wsrs-analyze",
+        "findings": [entries[key] for key in sorted(entries)],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def partition(findings: Sequence[Finding], baseline: Dict[str, Dict]
+              ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (novel, baselined)."""
+    novel: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            known.append(finding)
+        else:
+            novel.append(finding)
+    return novel, known

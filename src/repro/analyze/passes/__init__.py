@@ -1,0 +1,15 @@
+"""Built-in analysis passes.
+
+Importing this package registers every pass with the framework
+registry; the modules themselves only use the :func:`analysis_pass`
+decorator, exactly like a third-party ``wsrs.analysis_passes`` entry
+point would.
+"""
+
+from repro.analyze.passes import (  # noqa: F401
+    async_hazard,
+    config_pass,
+    docs_pass,
+    lint_pass,
+    spec_equiv,
+)

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 rendering of analysis findings.
+
+One ``run`` per invocation: the tool driver lists every registered rule
+(id + short description + owning pass), each finding becomes a
+``result`` with a physical location, and baselined findings carry a
+``suppressions`` entry (kind ``external``) so SARIF viewers and code
+scanning UIs hide them by default while novel findings stay visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analyze.baseline import fingerprint
+from repro.analyze.framework import AnalysisPass, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "wsrs-analyze"
+
+
+def _rule_catalogue(passes: Sequence[AnalysisPass]) -> List[Dict]:
+    rules: List[Dict] = []
+    seen: Set[str] = set()
+    for entry in passes:
+        for rule_id in sorted(entry.rules):
+            if rule_id in seen:
+                continue
+            seen.add(rule_id)
+            rules.append({
+                "id": rule_id,
+                "shortDescription": {"text": entry.rules[rule_id]},
+                "properties": {"pass": entry.name},
+            })
+    return rules
+
+
+def _result(finding: Finding, baselined: bool) -> Dict:
+    properties: Dict[str, object] = {
+        "pass": finding.pass_name,
+        "fingerprint": fingerprint(finding),
+    }
+    if finding.config is not None:
+        properties["config"] = finding.config
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": finding.severity,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                },
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+        "partialFingerprints": {
+            "wsrsAnalyze/v1": fingerprint(finding),
+        },
+        "properties": properties,
+    }
+    if baselined:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted by the committed analysis "
+                             "baseline (analysis-baseline.json)",
+        }]
+    return result
+
+
+def to_sarif(findings: Sequence[Finding],
+             passes: Sequence[AnalysisPass],
+             baselined: Optional[Sequence[Finding]] = None) -> Dict:
+    """The SARIF 2.1.0 log for one analysis run.
+
+    ``findings`` are the novel results; ``baselined`` (optional) are
+    reported too, but marked suppressed.
+    """
+    results = [_result(finding, baselined=False) for finding in findings]
+    results.extend(_result(finding, baselined=True)
+                   for finding in (baselined or ()))
+    gating = any(finding.gates for finding in findings)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "rules": _rule_catalogue(passes),
+                },
+            },
+            "invocations": [{
+                "executionSuccessful": not gating,
+            }],
+            "results": results,
+        }],
+    }

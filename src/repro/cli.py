@@ -8,7 +8,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs ablations                 # the DESIGN.md ablation panel
     wsrs simulate gzip --config "WSRS RC S 512"   # one run, full stats
     wsrs profiles                  # list the benchmark profiles
-    wsrs analyze mcf               # dataflow / operand-structure analysis
+    wsrs workload mcf              # dataflow / operand-structure analysis
     wsrs sensitivity               # penalty/memory/width/predictor sweeps
     wsrs microbench                # run the assembly kernels
     wsrs savetrace gzip out.trace  # freeze a workload to a file
@@ -16,9 +16,10 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs profile [--quick]         # core-loop profile -> BENCH_core.json
     wsrs stacks                    # CPI stacks per (benchmark, config)
     wsrs trace gzip --out t.jsonl.gz   # structured pipeline event trace
-    wsrs lint                      # determinism/API lint over src/repro
+    wsrs analyze                   # unified static analysis (all passes)
+    wsrs lint                      # alias: wsrs analyze --pass lint
     wsrs verify                    # static WS/RS invariant rules per config
-    wsrs docscheck                 # docs link/anchor + command freshness
+    wsrs docscheck                 # alias: wsrs analyze --pass docscheck
     wsrs serve                     # run the simulation job service (HTTP)
     wsrs submit gzip --wait        # submit one job to a running service
     wsrs loadtest                  # drive N clients -> BENCH_service.json
@@ -183,27 +184,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_docscheck(args: argparse.Namespace) -> int:
-    from pathlib import Path
+    from repro.analyze.driver import run_analysis
 
-    from repro.verify.docscheck import check_paths, check_tree
-
-    root = Path(args.root).resolve()
-    if args.paths:
-        findings = check_paths([Path(p).resolve() for p in args.paths],
-                               root)
-    else:
-        findings = check_tree(root)
-    for finding in findings:
-        print(f"{finding.path}:{finding.line}: "
-              f"[{finding.kind}] {finding.message}")
-    if findings:
-        print(f"{len(findings)} finding(s)")
-        return 1
-    print("docscheck: clean")
-    return 0
+    return run_analysis(passes=["docscheck"], paths=args.paths,
+                        root=args.root, prog="docscheck")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analyze.driver import run_analysis
+
+    return run_analysis(passes=args.passes, paths=args.paths,
+                        root=args.root, fmt=args.format, out=args.out,
+                        baseline=args.baseline,
+                        use_baseline=not args.no_baseline,
+                        update_baseline=args.write_baseline,
+                        sample_configs=args.sample_configs,
+                        list_passes=args.list_passes)
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.analysis.dependence import (
         dataflow_limits,
         format_profile,
@@ -309,18 +308,9 @@ def _cmd_savetrace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.verify.lint import default_lint_target, lint_paths
+    from repro.analyze.driver import run_analysis
 
-    targets = [p for p in args.paths] or [str(default_lint_target())]
-    findings = lint_paths(targets)
-    for finding in findings:
-        print(f"{finding.path}:{finding.line}: "
-              f"{finding.rule}: {finding.message}")
-    if findings:
-        print(f"{len(findings)} finding(s)")
-        return 1
-    print("lint: clean")
-    return 0
+    return run_analysis(passes=["lint"], paths=args.paths, prog="lint")
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -467,11 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list benchmark profiles").set_defaults(
         func=_cmd_profiles)
 
-    pn = sub.add_parser("analyze", help="dataflow analysis of a workload")
+    pn = sub.add_parser("workload", help="dataflow analysis of a workload")
     pn.add_argument("benchmark", choices=sorted(PROFILES))
     pn.add_argument("--measure", type=int, default=20_000)
     pn.add_argument("--seed", type=int, default=1)
-    pn.set_defaults(func=_cmd_analyze)
+    pn.set_defaults(func=_cmd_workload)
 
     pv = sub.add_parser("sensitivity", help="sensitivity sweeps")
     _add_slice_arguments(pv)
@@ -553,10 +543,46 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=[c.name for c in figure4_configs()])
     pm.set_defaults(func=_cmd_microbench)
 
+    pz = sub.add_parser(
+        "analyze",
+        help="unified static analysis: every registered pass, with "
+             "SARIF/JSON output and a committed finding baseline")
+    pz.add_argument("paths", nargs="*", default=[],
+                    help="restrict file-oriented passes to these "
+                         "files/directories (default: each pass's own "
+                         "target set)")
+    pz.add_argument("--pass", action="append", dest="passes",
+                    default=None, metavar="NAME",
+                    help="run only this pass (repeatable; default: all; "
+                         "see --list-passes)")
+    pz.add_argument("--format", default="text",
+                    choices=["text", "json", "sarif"],
+                    help="report format (sarif = SARIF 2.1.0)")
+    pz.add_argument("--out", default=None, metavar="PATH",
+                    help="write the report to PATH instead of stdout")
+    pz.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline file (default: "
+                         "ROOT/analysis-baseline.json)")
+    pz.add_argument("--write-baseline", action="store_true",
+                    help="accept the current findings as the new "
+                         "baseline and exit 0")
+    pz.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignoring the baseline")
+    pz.add_argument("--root", default=".",
+                    help="repository root (baseline + default targets)")
+    pz.add_argument("--sample-configs", type=int, default=50,
+                    metavar="N",
+                    help="sampled configs for the spec-equiv sweep")
+    pz.add_argument("--list-passes", action="store_true",
+                    help="list registered passes and their rules")
+    pz.set_defaults(func=_cmd_analyze)
+
     pl = sub.add_parser(
-        "lint", help="determinism/API lint over the simulator sources")
+        "lint", help="determinism/API lint over the simulator sources "
+                     "(alias: wsrs analyze --pass lint)")
     pl.add_argument("paths", nargs="*", default=[],
-                    help="files or directories (default: src/repro)")
+                    help="files or directories (default: src/repro + "
+                         "examples/ + benchmarks/)")
     pl.set_defaults(func=_cmd_lint)
 
     pw = sub.add_parser(

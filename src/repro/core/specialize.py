@@ -76,6 +76,28 @@ GEARS = ("reference", "horizon", "specialized")
 #: itself is a complete key - it embeds every baked constant).
 _CODE_CACHE: Dict[str, object] = {}
 
+#: Name of the generated function - the stable analysis surface the
+#: SPEC-EQUIV checker (repro.analyze.passes.spec_equiv) locates in the
+#: generated AST.
+SPECIALIZED_FUNC_NAME = "_specialized_run"
+
+#: Names the compiled stepper resolves from its exec namespace; the
+#: generated body may reference globals only from this closed set (plus
+#: builtins) - anything else is codegen drift.
+STEPPER_NAMESPACE = ("heappush", "heappop", "DeadlockedPipeline", "Uop",
+                     "new_uop", "_FP", "OP_LOAD", "OP_STORE", "OP_BRANCH",
+                     "OP_IMULDIV", "FWD")
+
+
+def generated_source_filename(config: MachineConfig) -> str:
+    """The pseudo-filename the generated stepper compiles under.
+
+    Static-analysis findings against generated code report this as
+    their path, so a finding names the configuration whose codegen
+    diverged rather than a real file.
+    """
+    return f"<specialized:{config.name}>"
+
 
 def specialization_blockers(processor) -> List[str]:
     """Why ``processor`` cannot run the specialized stepper (may be empty).
@@ -951,7 +973,7 @@ def build_specialized_runner(processor) -> Optional[Callable[[int], bool]]:
     code = _CODE_CACHE.get(source)
     if code is None:
         code = compile(source,
-                       f"<specialized:{processor.config.name}>", "exec")
+                       generated_source_filename(processor.config), "exec")
         _CODE_CACHE[source] = code
     namespace = {
         "heappush": heapq.heappush,
@@ -967,7 +989,7 @@ def build_specialized_runner(processor) -> Optional[Callable[[int], bool]]:
         "FWD": processor._forward_table,
     }
     exec(code, namespace)
-    run = namespace["_specialized_run"]
+    run = namespace[SPECIALIZED_FUNC_NAME]
 
     def runner(committed_target: int, _run=run, _proc=processor) -> bool:
         return _run(_proc, committed_target)

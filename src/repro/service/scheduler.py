@@ -163,7 +163,10 @@ class Scheduler:
             shutdown_pool(self._pool)
             self._pool = None
         if self.store is not None:
-            self.store.evict_expired()
+            # Disk-backed eviction scans the store directory; keep the
+            # event loop responsive by pushing it to a worker thread.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.store.evict_expired)
 
     # -- admission -------------------------------------------------------
 
@@ -342,7 +345,10 @@ class Scheduler:
                 return
             payload = jobmodel.job_payload(job.request, results)
             if self.store is not None:
-                self.store.put(job.key, payload)
+                # put() is an atomic disk write; a worker thread keeps
+                # the event loop free while it lands.
+                await loop.run_in_executor(
+                    None, self.store.put, job.key, payload)
             self._finish(job, jobmodel.DONE, result=payload)
             self.registry.sample(
                 "job_latency_ms",

@@ -38,7 +38,10 @@ from pathlib import Path
 from typing import Iterable, List, Sequence, Set, Union
 
 #: Directories (package names) whose files the set-iteration rule covers.
-SET_ITER_SCOPES = ("core", "rename")
+#: ``allocation`` and ``frontend`` share the hash-order hazard: their
+#: decisions feed the allocation stream, so set-order dependence there
+#: breaks the parallel-vs-serial parity just like in core/rename.
+SET_ITER_SCOPES = ("core", "rename", "allocation", "frontend")
 
 #: Package whose files may touch the renaming internals.
 PRIVATE_POKE_EXEMPT = "rename"
@@ -257,3 +260,23 @@ def default_lint_target() -> Path:
     import repro
 
     return Path(repro.__file__).resolve().parent
+
+
+def default_lint_targets(root: Union[str, Path, None] = None) -> List[Path]:
+    """The full default target set: the ``repro`` package plus the
+    repository's ``examples/`` and ``benchmarks/`` Python sources.
+
+    ``root`` is the repository root; when omitted it is derived from the
+    package location (``src/repro`` -> two levels up).  The extra
+    directories are skipped when absent (e.g. a site-packages install).
+    """
+    package = default_lint_target()
+    if root is None:
+        root = package.parent.parent
+    root = Path(root)
+    targets = [package]
+    for extra in ("examples", "benchmarks"):
+        candidate = root / extra
+        if candidate.is_dir():
+            targets.append(candidate)
+    return targets

@@ -1,4 +1,4 @@
-"""Tests for the extended CLI commands (analyze/sensitivity/microbench/
+"""Tests for the extended CLI commands (workload/sensitivity/microbench/
 savetrace)."""
 
 import pytest
@@ -7,15 +7,15 @@ from repro.cli import build_parser, main
 
 
 class TestParsing:
-    def test_analyze_arguments(self):
+    def test_workload_arguments(self):
         args = build_parser().parse_args(
-            ["analyze", "mcf", "--measure", "500"])
+            ["workload", "mcf", "--measure", "500"])
         assert args.benchmark == "mcf"
         assert args.measure == 500
 
-    def test_analyze_rejects_unknown_benchmark(self):
+    def test_workload_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["analyze", "nope"])
+            build_parser().parse_args(["workload", "nope"])
 
     def test_savetrace_arguments(self):
         args = build_parser().parse_args(
@@ -24,8 +24,8 @@ class TestParsing:
 
 
 class TestExecution:
-    def test_analyze_prints_the_profile(self, capsys):
-        assert main(["analyze", "gzip", "--measure", "2000"]) == 0
+    def test_workload_prints_the_profile(self, capsys):
+        assert main(["workload", "gzip", "--measure", "2000"]) == 0
         output = capsys.readouterr().out
         assert "monadic" in output
         assert "ideal IPC" in output

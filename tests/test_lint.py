@@ -7,6 +7,7 @@ import pytest
 from repro.verify.lint import (
     LintFinding,
     default_lint_target,
+    default_lint_targets,
     lint_file,
     lint_paths,
 )
@@ -56,13 +57,15 @@ class TestLintRandom:
 
 
 class TestLintSetIteration:
-    def test_scoped_to_core_and_rename(self, tmp_path):
+    def test_scoped_to_determinism_packages(self, tmp_path):
         source = """
             ready = {1, 2, 3}
             for uop in ready:
                 pass
         """
-        for scope in ("core", "rename"):
+        # allocation/frontend feed the allocation stream, so they share
+        # core/rename's hash-order hazard and the rule's scope.
+        for scope in ("core", "rename", "allocation", "frontend"):
             scoped_dir = tmp_path / scope
             scoped_dir.mkdir()
             findings = _lint_source(scoped_dir, source)
@@ -183,7 +186,25 @@ class TestLintPaths:
         assert str(finding) == "src/x.py:7: LINT-RANDOM: boom"
 
 
+class TestDefaultTargets:
+    def test_includes_examples_and_benchmarks(self, tmp_path):
+        (tmp_path / "examples").mkdir()
+        (tmp_path / "benchmarks").mkdir()
+        targets = default_lint_targets(tmp_path)
+        assert targets[0] == default_lint_target()
+        assert [t.name for t in targets[1:]] == ["examples",
+                                                 "benchmarks"]
+
+    def test_missing_extras_are_skipped(self, tmp_path):
+        assert default_lint_targets(tmp_path) == [default_lint_target()]
+
+    def test_repo_root_derived_from_package(self):
+        targets = default_lint_targets()
+        assert [t.name for t in targets] == ["repro", "examples",
+                                             "benchmarks"]
+
+
 class TestRepositoryIsClean:
     def test_simulator_sources_lint_clean(self):
-        findings = lint_paths([default_lint_target()])
+        findings = lint_paths(default_lint_targets())
         assert findings == [], "\n".join(str(f) for f in findings)
