@@ -19,8 +19,10 @@ Rules
     (the register-file layout the paper's argument is about), ROB /
     commit / issue / front widths, per-cluster FU counts, the cluster
     count, the misprediction penalty, the store-forward latency, the
-    latency-table size, and that the forward-delay table is loaded from
-    the processor's precomputed ``FWD`` global rather than re-derived.
+    latency-table size, the inlined L1 probe geometry (offset shift,
+    set mask and tag shift of the address split), and that the
+    forward-delay table is loaded from the processor's precomputed
+    ``FWD`` global rather than re-derived.
 ``SPEC-EQUIV-GUARD``
     The despecialization guards are present: the entry guard
     (sanitizer/observer/move-debt -> ``return False``) is the first
@@ -99,7 +101,9 @@ _REQUIRED_WRITEBACK = (
     "proc._rename_blocked_until", "proc._waiting_branch",
     "proc._pending_decision", "proc.horizon_jumps",
     "proc.horizon_cycles_skipped",
-    "frontend._pending", "frontend.delivered",
+    "frontend._pending", "frontend._exhausted", "frontend.branches",
+    "frontend.mispredictions", "frontend.delivered",
+    "memory.loads", "memory.stores", "memory.l1.hits",
     "memorder._issued_upto", "memorder._next_index",
     "renamer.renamed", "renamer.reg_stalls",
     "stats.cycles", "stats.committed", "stats.dispatched",
@@ -379,6 +383,8 @@ class _SiteCollector(ast.NodeVisitor):
         self.rc_adds: List[Tuple[ast.AST, int]] = []
         self.for_tuples: List[Tuple[ast.AST, Tuple[int, ...]]] = []
         self.stall_mults: List[Tuple[ast.AST, int]] = []
+        self.rshifts: List[Tuple[str, ast.AST, int]] = []
+        self.bitands: List[Tuple[str, ast.AST, int]] = []
         self.loaded_names: set = set()
 
     @staticmethod
@@ -437,6 +443,12 @@ class _SiteCollector(ast.NodeVisitor):
         right = self._int_const(node.right)
         if isinstance(node.op, ast.FloorDiv) and right is not None:
             self.floordivs.append((node, right))
+        elif isinstance(node.op, ast.RShift) and right is not None \
+                and isinstance(node.left, ast.Name):
+            self.rshifts.append((node.left.id, node, right))
+        elif isinstance(node.op, ast.BitAnd) and right is not None \
+                and isinstance(node.left, ast.Name):
+            self.bitands.append((node.left.id, node, right))
         elif isinstance(node.op, ast.Sub) and right is not None \
                 and isinstance(node.left, ast.Name):
             self.named_subs.append((node.left.id, node, right))
@@ -488,9 +500,11 @@ def _check_literals(func: ast.FunctionDef,
             if value != config.rob_size:
                 bad(node, "ROB capacity", value, config.rob_size)
 
-    # Issue/front budgets come as exactly one site each.
+    # Issue/front budgets come as exactly one site each, plus the
+    # zero-clear on the hoisted branch-stall path of the rename loop.
     budgets = sites.const_assigns.get("_budget", [])
-    expected_budgets = sorted((cluster.issue_width, config.front_width))
+    expected_budgets = sorted((0, cluster.issue_width,
+                               config.front_width))
     if sorted(value for _, value in budgets) != expected_budgets:
         bad(budgets[0][0] if budgets else func,
             "issue/front width budgets",
@@ -552,6 +566,32 @@ def _check_literals(func: ast.FunctionDef,
         if value != config.front_width:
             bad(node, "stall-accounting front width", value,
                 config.front_width)
+
+    # Inlined L1 probe geometry: the address split must match the
+    # configured cache (offset shift on ``_addr``, set mask and tag
+    # shift on ``_line``).
+    l1 = config.memory.l1
+    l1_off = l1.line_bytes.bit_length() - 1
+    l1_mask = l1.num_sets - 1
+    l1_setbits = l1_mask.bit_length()
+    addr_shifts = [(node, value) for name, node, value in sites.rshifts
+                   if name == "_addr"]
+    line_shifts = [(node, value) for name, node, value in sites.rshifts
+                   if name == "_line"]
+    line_masks = [(node, value) for name, node, value in sites.bitands
+                  if name == "_line"]
+    if require(addr_shifts, "L1 line-offset shift"):
+        for node, value in addr_shifts:
+            if value != l1_off:
+                bad(node, "L1 line-offset shift", value, l1_off)
+    if require(line_shifts, "L1 tag shift"):
+        for node, value in line_shifts:
+            if value != l1_setbits:
+                bad(node, "L1 tag shift", value, l1_setbits)
+    if require(line_masks, "L1 set mask"):
+        for node, value in line_masks:
+            if value != l1_mask:
+                bad(node, "L1 set mask", value, l1_mask)
 
     # Register-file geometry: floor-divisions may only use the word
     # size, the divider-pair stride, or the subset sizes; specialized

@@ -256,12 +256,32 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.experiments import profile
+    from repro.experiments import perf_history, profile
 
     benchmark = args.benchmark or profile.DEFAULT_BENCHMARK
     record = profile.run(benchmark=benchmark, seed=args.seed,
                          quick=args.quick, out=args.out)
+    history = args.history or perf_history.DEFAULT_HISTORY
+    regressed = False
+    if args.check_regression:
+        # Gate against the last *committed* record, before this run is
+        # appended to the trajectory.
+        tolerance = (args.regression_tolerance
+                     if args.regression_tolerance is not None
+                     else perf_history.DEFAULT_TOLERANCE)
+        ok, messages = perf_history.check_regression(
+            record, path=history, tolerance=tolerance)
+        regressed = not ok
+        for message in messages:
+            print(f"perf-history: {message}",
+                  file=sys.stderr if regressed else sys.stdout)
+    if not args.no_history:
+        line = perf_history.append_record(record, path=history)
+        print(f"perf-history: appended {line['sha']} ({line['date']}) "
+              f"to {history}")
     if not record["identical"]:
+        return 1
+    if regressed:
         return 1
     if args.min_specialized_speedup is not None:
         floor = args.min_specialized_speedup
@@ -293,6 +313,10 @@ def _cmd_microbench(args: argparse.Namespace) -> int:
         stats = simulate(config, iter(trace), measure=len(trace))
         print(f"{name:<16s}{len(trace):>8d}{stats.ipc:>8.2f}"
               f"{stats.unbalancing_degree:>7.0f}%")
+    from repro.experiments import schedbench
+
+    print()
+    print(schedbench.format_results(schedbench.run_all()))
     return 0
 
 
@@ -495,6 +519,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "at least X times faster than the reference "
                          "stepper on every configuration (the CI "
                          "perf-smoke gate)")
+    pc.add_argument("--history", default=None, metavar="PATH",
+                    help="perf-trajectory JSONL to append this run to "
+                         "(default: BENCH_history.jsonl)")
+    pc.add_argument("--no-history", action="store_true",
+                    help="do not append to the perf-trajectory file")
+    pc.add_argument("--check-regression", action="store_true",
+                    help="exit non-zero when any configuration's "
+                         "specialized-gear KIPS falls below the "
+                         "tolerance times the last comparable record "
+                         "in the history file")
+    pc.add_argument("--regression-tolerance", type=float, default=None,
+                    metavar="F",
+                    help="fraction of the committed KIPS a fresh run "
+                         "must reach (default 0.5; wall-clock varies "
+                         "across machines, the gate is for structural "
+                         "regressions)")
     pc.set_defaults(func=_cmd_profile)
 
     pk = sub.add_parser(

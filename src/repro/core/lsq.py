@@ -19,7 +19,10 @@ Conflicts are detected at 8-byte-word granularity.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # avoids an import cycle at runtime
+    from repro.core.issue_queue import ClusterScheduler
 
 #: Conflict-detection granularity (bytes).
 WORD_BYTES = 8
@@ -35,6 +38,9 @@ class MemoryOrderQueue:
         self._store_words: Dict[int, int] = {}
         # store seq -> word address (for commit-time removal)
         self._store_by_seq: Dict[int, int] = {}
+        # mem_index -> scheduler holding a woken op parked on the
+        # in-order address rule; released the cycle its turn arrives.
+        self._parked: Dict[int, "ClusterScheduler"] = {}
 
     # -- dispatch ----------------------------------------------------------
 
@@ -52,10 +58,22 @@ class MemoryOrderQueue:
         address."""
         return mem_index == self._issued_upto
 
+    def park(self, mem_index: int, scheduler: "ClusterScheduler") -> None:
+        """A woken memory op waits for the in-order address rule; its
+        scheduler is called back the moment ``mem_index`` becomes the
+        memory-order head."""
+        self._parked[mem_index] = scheduler
+
+    def _advance(self) -> None:
+        self._issued_upto += 1
+        scheduler = self._parked.pop(self._issued_upto, None)
+        if scheduler is not None:
+            scheduler.release_mem(self._issued_upto)
+
     def issue_store(self, seq: int, addr: int, mem_index: int) -> None:
         """A store computes its address and enters the store buffer."""
         assert mem_index == self._issued_upto
-        self._issued_upto += 1
+        self._advance()
         word = addr // WORD_BYTES
         self._store_words[word] = seq
         self._store_by_seq[seq] = word
@@ -68,7 +86,7 @@ class MemoryOrderQueue:
         load bypasses all stores and accesses the cache.
         """
         assert mem_index == self._issued_upto
-        self._issued_upto += 1
+        self._advance()
         return self._store_words.get(addr // WORD_BYTES)
 
     # -- commit ----------------------------------------------------------------

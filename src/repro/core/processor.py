@@ -143,7 +143,8 @@ class Processor:
         cluster = config.cluster
         self.schedulers = [
             ClusterScheduler(i, cluster.issue_width, cluster.num_alus,
-                             cluster.num_lsus, cluster.num_fpus)
+                             cluster.num_lsus, cluster.num_fpus,
+                             memorder=self.memorder)
             for i in range(config.num_clusters)
         ]
         self.stats = SimulationStats(config.num_clusters)
@@ -166,7 +167,6 @@ class Processor:
         self._waiting_branch: Optional[InFlightUop] = None
         self._pending_decision = None
         self._muldiv_busy_until = [0] * config.num_clusters
-        self._muldiv_used_now: set = set()
         self._latencies = dict(config.latencies)
         # forward_delay, precomputed into a num_clusters x num_clusters
         # table (row = producer cluster): the wake-up and bypass hot
@@ -176,8 +176,9 @@ class Processor:
              for consumer in range(config.num_clusters)]
             for producer in range(config.num_clusters)
         ]
-        # Whether the multiply/divide veto of _veto applies at all (it is
-        # a no-op for private pipelined units).
+        # Whether the multiply/divide unit is a trackable hazard at all
+        # (private pipelined units never reject an IMULDIV, so the
+        # schedulers run with an unlimited quota).
         self._muldiv_vetoed = (not config.pipelined_muldiv
                                or config.shared_muldiv)
         self._wsrs_mapping = None
@@ -374,27 +375,29 @@ class Processor:
                 return False  # rename can proceed (or consults can_rename)
 
         # Ready (already-woken) entries only force a live cycle when one
-        # of them can actually issue.  A memory operation that is not the
-        # next in memory program order is vetoed by the in-order
-        # address-computation rule, and since nothing issues during a
-        # dead window, ``issued_memory_ops`` is frozen and the veto holds
-        # for every skipped cycle.  Likewise a multiply/divide whose unit
-        # is busy stays vetoed until the release cycle, which is already
-        # an event-horizon candidate.  Both vetoes are side-effect-free
-        # while they reject (_veto only claims a unit when it *passes*),
-        # so the reference stepper's select over the skipped range
-        # mutates nothing but the internal heap arrangement.
+        # of them can actually issue.  Memory operations blocked by the
+        # in-order address-computation rule are *parked* (never in the
+        # ready list), and since nothing issues during a dead window,
+        # ``issued_memory_ops`` is frozen and no release can fire for
+        # every skipped cycle - so parked memory ops are ignorable here.
+        # A multiply/divide left in the ready list by an issue-width
+        # cutoff (or parked on a busy unit) only becomes issuable at the
+        # unit's release cycle, which is already an event-horizon
+        # candidate.  Nothing in the skipped range would mutate state:
+        # the reference stepper's select over a dead window picks
+        # nothing and parks nothing new.
         mem_next = self.memorder.issued_memory_ops
         muldiv_vetoed = self._muldiv_vetoed
         busy_until = self._muldiv_busy_until
         for scheduler in self.schedulers:
-            ready = scheduler._ready
-            if not ready:
-                continue
             lsus = scheduler.num_lsus
             fpus = scheduler.num_fpus
             alus = scheduler.num_alus
-            for _seq, uop in ready:
+            if alus and scheduler._parked_muldiv and \
+                    busy_until[self._muldiv_unit(scheduler.cluster_id)] \
+                    <= cycle:
+                return False  # unit free: a parked IMULDIV un-parks
+            for _seq, uop in scheduler._ready:
                 if uop.mem_index >= 0:
                     if lsus and uop.mem_index == mem_next:
                         return False  # head of memory order: issuable
@@ -406,7 +409,7 @@ class Processor:
                         if busy_until[self._muldiv_unit(uop.cluster)] \
                                 <= cycle:
                             return False  # unit free: issuable
-                        # Busy unit: vetoed until release (in horizon).
+                        # Busy unit: held until release (in horizon).
                     else:
                         return False  # plain ALU op: issuable
 
@@ -498,28 +501,26 @@ class Processor:
             return cluster // 2
         return cluster
 
-    def _veto(self, uop: InFlightUop) -> bool:
-        """Selection veto: memory-order and multiply/divide hazards."""
-        if uop.mem_index >= 0:
-            return not self.memorder.can_issue(uop.mem_index)
-        if uop.inst.op == OpClass.IMULDIV:
-            config = self.config
-            if not config.pipelined_muldiv or config.shared_muldiv:
-                unit = self._muldiv_unit(uop.cluster)
-                if unit in self._muldiv_used_now \
-                        or self._muldiv_busy_until[unit] > self.cycle:
-                    return True
-                # Passing the veto means the scheduler will issue this
-                # micro-op, so claim the unit for the rest of the cycle.
-                self._muldiv_used_now.add(unit)
-        return False
-
     def _issue(self, cycle: int) -> None:
-        veto = self._veto
-        self._muldiv_used_now.clear()
+        # Memory-order hazards are handled entirely by parking (the
+        # schedulers only ever hold the memory-order head in their ready
+        # lists); the multiply/divide hazard reaches select as a quota.
+        # An IMULDIV issued on cluster i raises the unit's busy_until
+        # before cluster i+1 selects, so a shared pair arbitrates
+        # in-cycle through the quota alone - no per-cycle claim set.
+        tracked = self._muldiv_vetoed
+        busy_until = self._muldiv_busy_until
+        start = self._start_execution
         for scheduler in self.schedulers:
-            for uop in scheduler.select(cycle, veto):
-                self._start_execution(uop, cycle)
+            if scheduler.is_empty():
+                continue
+            if tracked:
+                unit = self._muldiv_unit(scheduler.cluster_id)
+                quota = 1 if busy_until[unit] <= cycle else 0
+            else:
+                quota = None
+            for uop in scheduler.select(cycle, quota):
+                start(uop, cycle)
 
     def _start_execution(self, uop: InFlightUop, cycle: int) -> None:
         inst = uop.inst

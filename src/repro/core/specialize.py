@@ -28,11 +28,13 @@ What the generated stepper bakes in
 
 It also flattens the per-cycle call tree (commit, wake/select, execute,
 rename, wake-up computation and the event-horizon jump detection) into
-one function frame with all hot state held in locals, and keeps each
-cluster's ready queue *sorted by age* instead of heap-ordered - a sorted
-list satisfies the heap invariant, so the structure remains valid for
-the generic machinery on fallback, while selection becomes an in-place
-scan instead of a pop/push churn.
+one function frame with all hot state held in locals.  The scheduler
+structures themselves are the event-driven ones of
+:mod:`repro.core.issue_queue` - calendar buckets on the pending side,
+an age-sorted in-place ready list, and the memory/muldiv parking lists
+- mutated *in place*, so a fallback resumes on the very same objects
+with no conversion step, and the inlined wake/select/release loops are
+line-for-line the specialized rendering of the generic ones.
 
 Guards and the fallback contract
 --------------------------------
@@ -61,7 +63,7 @@ over random configurations).
 
 from __future__ import annotations
 
-import heapq
+import bisect
 from typing import Callable, Dict, List, Optional
 
 from repro.config import MachineConfig
@@ -84,9 +86,9 @@ SPECIALIZED_FUNC_NAME = "_specialized_run"
 #: Names the compiled stepper resolves from its exec namespace; the
 #: generated body may reference globals only from this closed set (plus
 #: builtins) - anything else is codegen drift.
-STEPPER_NAMESPACE = ("heappush", "heappop", "DeadlockedPipeline", "Uop",
-                     "new_uop", "_FP", "OP_LOAD", "OP_STORE", "OP_BRANCH",
-                     "OP_IMULDIV", "FWD")
+STEPPER_NAMESPACE = ("insort", "DeadlockedPipeline", "Uop",
+                     "new_uop", "Fetched", "_FP", "OP_LOAD", "OP_STORE",
+                     "OP_BRANCH", "OP_IMULDIV", "FWD")
 
 
 def generated_source_filename(config: MachineConfig) -> str:
@@ -154,34 +156,57 @@ def generate_stepper_source(config: MachineConfig) -> str:
     lat_size = max(int(op) for op in OpClass) + 1
     no_event = UNKNOWN_CYCLE
     progress_limit = 100_000  # mirrors processor._PROGRESS_LIMIT
+    l1 = config.memory.l1
+    l1_off = l1.line_bytes.bit_length() - 1
+    l1_mask = l1.num_sets - 1
+    l1_setbits = l1_mask.bit_length()
 
     if muldiv_tracked:
         localize_muldiv = "    busy_until = proc._muldiv_busy_until"
-        used_mask_init = "                used_mask = 0"
+        if cluster.num_alus:
+            parked_live = f"""\
+                    if parked_mds[_ci] \\
+                            and busy_until[{unit_ci}] <= cycle:
+                        live = True
+                        break"""
+        else:  # no ALUs: an IMULDIV can never park
+            parked_live = ""
         ready_alu = f"""\
-                                if _u.inst.op == OP_IMULDIV:
-                                    if busy_until[{unit_ci}] <= cycle:
-                                        live = True
-                                        break
-                                else:
+                            if _u.inst.op == OP_IMULDIV:
+                                if busy_until[{unit_ci}] <= cycle:
                                     live = True
-                                    break"""
+                                    break
+                            else:
+                                live = True
+                                break"""
         muldiv_horizon = """\
                     for _b in busy_until:
                         if cycle < _b < horizon:
                             horizon = _b"""
-        alu_select = f"""\
-                                if _alus:
-                                    if uop.inst.op == OP_IMULDIV:
-                                        if (not used_mask >> ({unit_ci}) & 1
-                                                and busy_until[{unit_ci}]
-                                                <= cycle):
-                                            used_mask |= 1 << ({unit_ci})
-                                            _alus -= 1
-                                            _take = True
-                                    else:
+        unpark_muldiv = f"""\
+                    _pmd = parked_mds[_ci]
+                    if _pmd and busy_until[{unit_ci}] <= cycle:
+                        _r.extend(_pmd)
+                        del _pmd[:]
+                        _r.sort()"""
+        muldiv_quota = f"""\
+                    _mdq = busy_until[{unit_ci}] <= cycle"""
+        alu_select = """\
+                            if _alus:
+                                if uop.inst.op == OP_IMULDIV:
+                                    if _mdq:
+                                        _mdq = False
                                         _alus -= 1
-                                        _take = True"""
+                                        _take = True
+                                    else:
+                                        _pmd.append(_entry)
+                                        if _idx is None:
+                                            _idx = [_i]
+                                        else:
+                                            _idx.append(_i)
+                                else:
+                                    _alus -= 1
+                                    _take = True"""
         if not config.pipelined_muldiv:
             muldiv_exec = f"""\
                         if _op == OP_IMULDIV:
@@ -192,21 +217,75 @@ def generate_stepper_source(config: MachineConfig) -> str:
                             busy_until[{unit_cl}] = cycle + 1"""
     else:
         localize_muldiv = ""
-        used_mask_init = ""
+        parked_live = ""
         ready_alu = """\
-                                live = True
-                                break"""
+                            live = True
+                            break"""
         muldiv_horizon = ""
+        unpark_muldiv = ""
+        muldiv_quota = ""
         alu_select = """\
-                                if _alus:
-                                    _alus -= 1
-                                    _take = True"""
+                            if _alus:
+                                _alus -= 1
+                                _take = True"""
         muldiv_exec = ""
 
-    if cluster.num_lsus:
-        mem_head = "                    _mem_uop = r_mem.get(issued_upto)"
+    # Select: the budgeted age-ordered scan over the ready list.  On the
+    # section-5 configurations the ready list holds a single entry on the
+    # vast majority of non-empty visits, so when nothing is quota-tracked
+    # and every unit class is present (a lone ready uop is then always
+    # issuable) the scan is wrapped in a len==1 fast path.
+    select_scan = f"""\
+                    _budget = {cluster.issue_width}
+                    _alus = {cluster.num_alus}
+                    _lsus = {cluster.num_lsus}
+                    _fpus = {cluster.num_fpus}
+{muldiv_quota}
+                    _n = len(_r)
+                    _i = 0
+                    _picked_uops = None
+                    _idx = None
+                    while _budget and _i < _n:
+                        _entry = _r[_i]
+                        uop = _entry[1]
+                        _take = False
+                        if uop.mem_index >= 0:
+                            if _lsus:
+                                _lsus -= 1
+                                _take = True
+                        elif uop.inst.op in _FP:
+                            if _fpus:
+                                _fpus -= 1
+                                _take = True
+                        else:
+{alu_select}
+                        if _take:
+                            _budget -= 1
+                            if _picked_uops is None:
+                                _picked_uops = [uop]
+                            else:
+                                _picked_uops.append(uop)
+                            if _idx is None:
+                                _idx = [_i]
+                            else:
+                                _idx.append(_i)
+                        _i += 1
+                    if _idx is not None:
+                        for _j in reversed(_idx):
+                            del _r[_j]
+                    if _picked_uops is None:
+                        continue"""
+    if (not muldiv_tracked and cluster.issue_width and cluster.num_alus
+            and cluster.num_lsus and cluster.num_fpus):
+        pick_block = (
+            "                    if len(_r) == 1:\n"
+            "                        _picked_uops = (_r[0][1],)\n"
+            "                        del _r[0]\n"
+            "                    else:\n"
+            + "\n".join("    " + ln if ln.strip() else ln
+                        for ln in select_scan.split("\n")))
     else:
-        mem_head = "                    _mem_uop = None"
+        pick_block = select_scan
 
     # Steering: the paper's policies are baked straight into the loop.
     # Round-robin is pure arithmetic (its cursor is mirrored and written
@@ -293,6 +372,16 @@ def generate_stepper_source(config: MachineConfig) -> str:
                             inst, subset_of, inflights)"""
 
     policy = config.deadlock_policy
+    # Only the "moves" policy can trip the mid-run guard, so only that
+    # variant pays for the per-cycle check.  Tripping ends the cycle
+    # normally (counters already advanced); the idle-progress bookkeeping
+    # it skips lives in locals that are never written back.
+    if policy == "moves":
+        tripped_check = """\
+                if tripped:
+                    return False"""
+    else:
+        tripped_check = ""
     if policy == "none":
         deadlock_block = """\
                             stall_noreg += _budget
@@ -345,35 +434,40 @@ def _specialized_run(proc, committed_target):
     stats = proc.stats
     renamer = proc.renamer
     frontend = proc.frontend
-    fetch_one = frontend._fetch_one
-    fe_pending = frontend._pending
+    trace_iter = frontend._trace
+    resolve = frontend.predictor.resolve
+    _fetched = frontend._pending
+    if _fetched is None:
+        pend_inst = None
+        pend_misp = False
+    else:
+        pend_inst = _fetched.inst
+        pend_misp = _fetched.mispredicted
     fe_exhausted = frontend._exhausted
+    fe_branches = frontend.branches
+    fe_mispredicts = frontend.mispredictions
     delivered = frontend.delivered
 {localize_alloc}
     subset_of = renamer.subset_of_logical
     memorder = proc.memorder
-    memory_access = proc.memory.access
+    memory = proc.memory
+    mem_miss = memory.access_after_l1_miss
+    l1_sets = memory.l1._sets
+    l1_hits = memory.l1.hits
+    mem_loads = memory.loads
+    mem_stores = memory.stores
     schedulers = proc.schedulers
-    pendings = [s._pending for s in schedulers]
-    # Ready entries split per cluster: in-order memory ops keyed by
-    # their memory-order index (at most one - the one matching
-    # _issued_upto - is ever issuable, so selection is a dict lookup
-    # instead of a scan over stalled loads/stores), everything else in
-    # a small seq-sorted list.  Merged back into the schedulers' heaps
-    # on exit, so a fallback sees ordinary ready queues.
-    r_mems = []
-    r_others = []
-    for _s in schedulers:
-        _rm = dict()
-        _ro = []
-        for _e in _s._ready:
-            if _e[1].mem_index >= 0:
-                _rm[_e[1].mem_index] = _e[1]
-            else:
-                _ro.append(_e)
-        _ro.sort()
-        r_mems.append(_rm)
-        r_others.append(_ro)
+    # The event-driven scheduler structures, shared *in place*: calendar
+    # buckets (wake cycle -> entry list) with a sorted key list on the
+    # pending side, the age-sorted ready list, and the memory/muldiv
+    # parking lists.  A fallback resumes on the same objects; the
+    # per-cluster pending-size counters are recomputed at write-back.
+    buckets = [s._buckets for s in schedulers]
+    bkeys = [s._bucket_keys for s in schedulers]
+    readys = [s._ready for s in schedulers]
+    parked_mems = [s._parked_mem for s in schedulers]
+    parked_mds = [s._parked_muldiv for s in schedulers]
+    mo_parked = memorder._parked
     inflights = [s.inflight for s in schedulers]
     rob = proc._rob
     rob_popleft = rob.popleft
@@ -451,18 +545,18 @@ def _specialized_run(proc, committed_target):
     last_committed = committed
     try:
         while committed < committed_target:
-            if fe_exhausted and fe_pending is None and not rob:
+            if fe_exhausted and pend_inst is None and not rob:
                 break
 
             # -- event-horizon jump detection (inlined _try_jump) ------
             live = False
-            wake = {no_event}
             if rob and rob[0].result_cycle <= cycle:
                 live = True
-            if not live:
-                for _p in pendings:
-                    if _p:
-                        _w = _p[0][0]
+            else:
+                wake = {no_event}
+                for _k in bkeys:
+                    if _k:
+                        _w = _k[0]
                         if _w <= cycle:
                             live = True
                             break
@@ -475,14 +569,20 @@ def _specialized_run(proc, committed_target):
                 elif len(rob) >= {config.rob_size}:
                     stall = 1
                 else:
-                    fetched = fe_pending
-                    if fetched is None and not fe_exhausted:
-                        fetched = fetch_one()
-                        if fetched is None:
+                    if pend_inst is None and not fe_exhausted:
+                        inst = next(trace_iter, None)
+                        if inst is None:
                             fe_exhausted = True
                         else:
-                            fe_pending = fetched
-                    if fetched is None:
+                            pend_misp = False
+                            if inst.op == OP_BRANCH:
+                                fe_branches += 1
+                                if resolve(inst.pc, inst.taken) \\
+                                        != inst.taken:
+                                    pend_misp = True
+                                    fe_mispredicts += 1
+                            pend_inst = inst
+                    if pend_inst is None:
                         if not rob:
                             live = True
                         else:
@@ -494,16 +594,20 @@ def _specialized_run(proc, committed_target):
                         stall = 2
                     else:
                         live = True
-            if not live and {cluster.num_lsus}:
-                for _rm in r_mems:
-                    if issued_upto in _rm:
-                        live = True
-                        break
             if not live:
+                # Parked memory ops are ignorable: nothing issues in a
+                # dead window, so no release can fire before the next
+                # live cycle.  A parked IMULDIV only matters at its
+                # unit's release cycle - a horizon candidate below.
                 for _ci in {cluster_range}:
-                    for _entry in r_others[_ci]:
+{parked_live}
+                    for _entry in readys[_ci]:
                         _u = _entry[1]
-                        if _u.inst.op in _FP:
+                        if _u.mem_index >= 0:
+                            if {cluster.num_lsus}:
+                                live = True
+                                break
+                        elif _u.inst.op in _FP:
                             if {cluster.num_fpus}:
                                 live = True
                                 break
@@ -547,81 +651,38 @@ def _specialized_run(proc, committed_target):
                             break
 
                 # -- wake / select / execute (inlined) -----------------
-{used_mask_init}
                 for _ci in {cluster_range}:
-                    pending = pendings[_ci]
-                    r_other = r_others[_ci]
-                    r_mem = r_mems[_ci]
-                    if pending and pending[0][0] <= cycle:
+                    _keys = bkeys[_ci]
+                    _r = readys[_ci]
+                    if _keys and _keys[0] <= cycle:
+                        _bk = buckets[_ci]
+                        _pm = parked_mems[_ci]
+                        _sc = schedulers[_ci]
                         _added = False
-                        while pending and pending[0][0] <= cycle:
-                            _e = heappop(pending)
-                            _u = _e[2]
-                            if _u.mem_index >= 0:
-                                r_mem[_u.mem_index] = _u
-                            else:
-                                r_other.append((_e[1], _u))
-                                _added = True
+                        _ki = 0
+                        _kn = len(_keys)
+                        while _ki < _kn and _keys[_ki] <= cycle:
+                            _bucket = _bk.pop(_keys[_ki])
+                            for _e in _bucket:
+                                _emi = _e[1].mem_index
+                                if _emi >= 0:
+                                    if _emi == issued_upto:
+                                        _r.append(_e)
+                                        _added = True
+                                    else:
+                                        _pm[_emi] = _e
+                                        mo_parked[_emi] = _sc
+                                else:
+                                    _r.append(_e)
+                                    _added = True
+                            _ki += 1
+                        del _keys[:_ki]
                         if _added:
-                            r_other.sort()
-{mem_head}
-                    _mem_seq = {no_event} if _mem_uop is None \\
-                        else _mem_uop.seq
-                    if not r_other and _mem_seq == {no_event}:
+                            _r.sort()
+{unpark_muldiv}
+                    if not _r:
                         continue
-                    _budget = {cluster.issue_width}
-                    _alus = {cluster.num_alus}
-                    _fpus = {cluster.num_fpus}
-                    _n = len(r_other)
-                    _i = 0
-                    _picked_uops = None
-                    _idx = None
-                    while _budget:
-                        if _i < _n:
-                            _entry = r_other[_i]
-                            if _mem_seq < _entry[0]:
-                                _budget -= 1
-                                if _picked_uops is None:
-                                    _picked_uops = [_mem_uop]
-                                else:
-                                    _picked_uops.append(_mem_uop)
-                                del r_mem[issued_upto]
-                                _mem_seq = {no_event}
-                                continue
-                            uop = _entry[1]
-                            _take = False
-                            if uop.inst.op in _FP:
-                                if _fpus:
-                                    _fpus -= 1
-                                    _take = True
-                            else:
-{alu_select}
-                            if _take:
-                                _budget -= 1
-                                if _picked_uops is None:
-                                    _picked_uops = [uop]
-                                else:
-                                    _picked_uops.append(uop)
-                                if _idx is None:
-                                    _idx = [_i]
-                                else:
-                                    _idx.append(_i)
-                            _i += 1
-                        elif _mem_seq != {no_event}:
-                            _budget -= 1
-                            if _picked_uops is None:
-                                _picked_uops = [_mem_uop]
-                            else:
-                                _picked_uops.append(_mem_uop)
-                            del r_mem[issued_upto]
-                            _mem_seq = {no_event}
-                        else:
-                            break
-                    if _picked_uops is None:
-                        continue
-                    if _idx is not None:
-                        for _j in reversed(_idx):
-                            del r_other[_j]
+{pick_block}
                     for uop in _picked_uops:
                         # -- start execution (inlined) -----------------
                         inst = uop.inst
@@ -630,6 +691,11 @@ def _specialized_run(proc, committed_target):
                         _mi = uop.mem_index
                         if _mi >= 0:
                             issued_upto = _mi + 1
+                            _s2 = mo_parked.pop(issued_upto, None)
+                            if _s2 is not None:
+                                _c2 = _s2.cluster_id
+                                insort(readys[_c2],
+                                       parked_mems[_c2].pop(issued_upto))
                             _addr = inst.addr
                             if _op == OP_LOAD:
                                 _fwd = store_get(_addr // {WORD_BYTES})
@@ -637,22 +703,51 @@ def _specialized_run(proc, committed_target):
                                     _lat = {config.memory.l1.hit_latency}
                                     store_forwards += 1
                                 else:
-                                    _res = memory_access(_addr, cycle)
-                                    _lat = _res.latency
-                                    if not _res.l1_hit:
-                                        l1_misses += 1
-                                        if not _res.l2_hit:
-                                            l2_misses += 1
+                                    # inlined L1 probe (MRU fast path)
+                                    _line = _addr >> {l1_off}
+                                    _tags = l1_sets[_line & {l1_mask}]
+                                    _tag = _line >> {l1_setbits}
+                                    if _tags and _tags[0] == _tag:
+                                        l1_hits += 1
+                                        _lat = {l1.hit_latency}
+                                    else:
+                                        try:
+                                            _pos = _tags.index(_tag)
+                                        except ValueError:
+                                            _lat, _l2h = mem_miss(_addr,
+                                                                  cycle)
+                                            l1_misses += 1
+                                            if not _l2h:
+                                                l2_misses += 1
+                                        else:
+                                            del _tags[_pos]
+                                            _tags.insert(0, _tag)
+                                            l1_hits += 1
+                                            _lat = {l1.hit_latency}
+                                    mem_loads += 1
                                 loads += 1
                             else:
                                 _word = _addr // {WORD_BYTES}
                                 store_words[_word] = uop.seq
                                 store_by_seq[uop.seq] = _word
-                                _res = memory_access(_addr, cycle, True)
-                                if not _res.l1_hit:
-                                    l1_misses += 1
-                                    if not _res.l2_hit:
-                                        l2_misses += 1
+                                _line = _addr >> {l1_off}
+                                _tags = l1_sets[_line & {l1_mask}]
+                                _tag = _line >> {l1_setbits}
+                                if _tags and _tags[0] == _tag:
+                                    l1_hits += 1
+                                else:
+                                    try:
+                                        _pos = _tags.index(_tag)
+                                    except ValueError:
+                                        _ml, _l2h = mem_miss(_addr, cycle)
+                                        l1_misses += 1
+                                        if not _l2h:
+                                            l2_misses += 1
+                                    else:
+                                        del _tags[_pos]
+                                        _tags.insert(0, _tag)
+                                        l1_hits += 1
+                                mem_stores += 1
                                 stores += 1
                         uop.issue_cycle = cycle
                         _rc = cycle + _lat
@@ -673,15 +768,20 @@ def _specialized_run(proc, committed_target):
                                     else:
                                         bypass_inter += 1
                                     _usable = _rc + _row[_wc]
-                                    if _usable > _wt.earliest_issue:
+                                    _ec = _wt.earliest_issue
+                                    if _usable > _ec:
+                                        _ec = _usable
                                         _wt.earliest_issue = _usable
                                     _wo = _wt.waiting_operands - 1
                                     _wt.waiting_operands = _wo
                                     if not _wo:
-                                        heappush(
-                                            pendings[_wc],
-                                            (_wt.earliest_issue,
-                                             _wt.seq, _wt))
+                                        _bk2 = buckets[_wc]
+                                        _b2 = _bk2.get(_ec)
+                                        if _b2 is None:
+                                            _bk2[_ec] = [(_wt.seq, _wt)]
+                                            insort(bkeys[_wc], _ec)
+                                        else:
+                                            _b2.append((_wt.seq, _wt))
                         if uop.mispredicted:
                             rename_blocked_until = (
                                 _rc + {config.mispredict_penalty})
@@ -690,24 +790,32 @@ def _specialized_run(proc, committed_target):
 
                 # -- rename / dispatch (inlined) -----------------------
                 _budget = {config.front_width}
-                while True:
-                    if waiting_branch is not None \\
-                            or cycle < rename_blocked_until:
-                        stall_branch += _budget
-                        break
+                if waiting_branch is not None \\
+                        or cycle < rename_blocked_until:
+                    # Loop-invariant: a mispredicted rename breaks out
+                    # immediately and the block-until cycle only moves in
+                    # the execute stage, so the whole group stalls here.
+                    stall_branch += _budget
+                    _budget = 0
+                while _budget:
                     if len(rob) >= {config.rob_size}:
                         stall_rob += _budget
                         break
-                    fetched = fe_pending
-                    if fetched is None:
+                    inst = pend_inst
+                    if inst is None:
                         if fe_exhausted:
                             break
-                        fetched = fetch_one()
-                        if fetched is None:
+                        inst = next(trace_iter, None)
+                        if inst is None:
                             fe_exhausted = True
                             break
-                        fe_pending = fetched
-                    inst = fetched.inst
+                        pend_misp = False
+                        if inst.op == OP_BRANCH:
+                            fe_branches += 1
+                            if resolve(inst.pc, inst.taken) != inst.taken:
+                                pend_misp = True
+                                fe_mispredicts += 1
+                        pend_inst = inst
                     if pending_decision is None:
 {alloc_block}
                     cluster = pending_decision[0]
@@ -724,7 +832,7 @@ def _specialized_run(proc, committed_target):
                             reg_stalls += 1
 {deadlock_block}
                     swapped = pending_decision[1]
-                    fe_pending = None
+                    pend_inst = None
                     delivered += 1
                     pending_decision = None
                     src1 = inst.src1
@@ -771,7 +879,7 @@ def _specialized_run(proc, committed_target):
                         next_mem_index = mem_index + 1
                     else:
                         mem_index = -1
-                    misp = fetched.mispredicted
+                    misp = pend_misp
                     uop = new_uop(Uop)
                     uop.seq = seq
                     uop.inst = inst
@@ -825,8 +933,13 @@ def _specialized_run(proc, committed_target):
                     uop.earliest_issue = _earliest
                     uop.waiting_operands = _waiting
                     if not _waiting:
-                        heappush(pendings[cluster],
-                                 (_earliest, seq, uop))
+                        _bk2 = buckets[cluster]
+                        _b2 = _bk2.get(_earliest)
+                        if _b2 is None:
+                            _bk2[_earliest] = [(seq, uop)]
+                            insort(bkeys[cluster], _earliest)
+                        else:
+                            _b2.append((seq, uop))
                     rob_append(uop)
                     inflights[cluster] += 1
                     dispatched += 1
@@ -856,11 +969,10 @@ def _specialized_run(proc, committed_target):
                     _budget -= 1
                     if misp:
                         break
-                    if not _budget:
-                        break
 
                 cycles += 1
                 cycle += 1
+{tripped_check}
             else:
                 # -- dead window: jump to the event horizon ------------
                 horizon = wake
@@ -902,8 +1014,6 @@ def _specialized_run(proc, committed_target):
                     raise DeadlockedPipeline(
                         "no instruction committed for %d pipeline "
                         "events at cycle %d" % (idle_events, cycle))
-            if tripped:
-                return False
         return True
     finally:
         proc.cycle = cycle
@@ -914,8 +1024,17 @@ def _specialized_run(proc, committed_target):
         proc._pending_decision = pending_decision
         proc.horizon_jumps = jumps
         proc.horizon_cycles_skipped = jump_skipped
-        frontend._pending = fe_pending
+        if pend_inst is None:
+            frontend._pending = None
+        else:
+            frontend._pending = Fetched(pend_inst, pend_misp)
+        frontend._exhausted = fe_exhausted
+        frontend.branches = fe_branches
+        frontend.mispredictions = fe_mispredicts
         frontend.delivered = delivered
+        memory.loads = mem_loads
+        memory.stores = mem_stores
+        memory.l1.hits = l1_hits
 {writeback_alloc}
         memorder._issued_upto = issued_upto
         memorder._next_index = next_mem_index
@@ -923,11 +1042,8 @@ def _specialized_run(proc, committed_target):
         renamer.reg_stalls = reg_stalls
         for _ci in {cluster_range}:
             schedulers[_ci].inflight = inflights[_ci]
-            _merged = r_others[_ci]
-            for _u2 in r_mems[_ci].values():
-                _merged.append((_u2.seq, _u2))
-            _merged.sort()
-            schedulers[_ci]._ready[:] = _merged
+            schedulers[_ci]._pending_size = sum(
+                map(len, buckets[_ci].values()))
         balance._filled = bfilled
         balance.groups_total = bt_total
         balance.groups_unbalanced = bt_unb
@@ -966,6 +1082,7 @@ def build_specialized_runner(processor) -> Optional[Callable[[int], bool]]:
     already been written back).
     """
     from repro.core.processor import DeadlockedPipeline
+    from repro.frontend.fetch import FetchedInstruction
 
     if specialization_blockers(processor):
         return None
@@ -976,11 +1093,11 @@ def build_specialized_runner(processor) -> Optional[Callable[[int], bool]]:
                        generated_source_filename(processor.config), "exec")
         _CODE_CACHE[source] = code
     namespace = {
-        "heappush": heapq.heappush,
-        "heappop": heapq.heappop,
+        "insort": bisect.insort,
         "DeadlockedPipeline": DeadlockedPipeline,
         "Uop": InFlightUop,
         "new_uop": InFlightUop.__new__,
+        "Fetched": FetchedInstruction,
         "_FP": frozenset(FP_CLASSES),
         "OP_LOAD": OpClass.LOAD,
         "OP_STORE": OpClass.STORE,

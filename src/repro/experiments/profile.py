@@ -17,9 +17,11 @@ claims:
   histograms compared across all three gears (any divergence is a bug,
   and the CLI exits non-zero);
 * **stage breakdown** - cProfile over one event-horizon run, split into
-  the pipeline stages (commit/issue/rename/horizon) plus the hottest
-  individual functions (the specialized gear is one generated frame, so
-  stage attribution only exists for the generic gears).
+  the pipeline stages (commit/issue/rename/horizon, with the
+  scheduler's select and wake peeled out of issue as their own stages)
+  plus the hottest individual functions (the specialized gear is one
+  generated frame, so stage attribution only exists for the generic
+  gears).
 
 The default trace is **mcf** on every configuration: it is the suite's
 most stall-dominated workload (mispredict rate within noise of gcc's
@@ -60,14 +62,25 @@ DEFAULT_OUT = "BENCH_core.json"
 TRACE_SLACK = 8_192
 
 #: Pipeline-stage attribution for the cProfile breakdown: method name ->
-#: stage label.  These are the four top-level, mutually exclusive phases
-#: of the main loop, so their cumulative times partition a run.
+#: (stage label, filename fragment).  ``_commit``/``_issue``/
+#: ``_rename_and_dispatch``/``_try_jump`` are the four top-level phases
+#: of the main loop; the scheduler's ``select`` and ``wake`` are nested
+#: inside ``_issue`` (and ``wake`` inside ``select``), so their
+#: cumulative times are *subtracted out* of their callers below -
+#: scheduler work reports as its own stage and the stages partition a
+#: run again.
 _STAGE_METHODS = {
-    "_commit": "commit",
-    "_issue": "issue",
-    "_rename_and_dispatch": "rename",
-    "_try_jump": "horizon",
+    "_commit": ("commit", "processor"),
+    "_issue": ("issue", "processor"),
+    "_rename_and_dispatch": ("rename", "processor"),
+    "_try_jump": ("horizon", "processor"),
+    "select": ("select", "issue_queue"),
+    "wake": ("wake", "issue_queue"),
 }
+
+#: Containment chain for the subtraction: stage -> the stage nested
+#: directly inside it.
+_NESTED_STAGE = {"issue": "select", "select": "wake"}
 
 
 def _fingerprint(stats: SimulationStats) -> Tuple:
@@ -106,10 +119,16 @@ def _stage_breakdown(config: MachineConfig, trace: Sequence,
     entries = []
     for (filename, _line, name), (_cc, ncalls, tottime, cumtime,
                                   _callers) in profile_stats.stats.items():
-        stage = _STAGE_METHODS.get(name)
-        if stage is not None and "processor" in filename:
-            stages[stage] = round(cumtime, 4)
+        attribution = _STAGE_METHODS.get(name)
+        if attribution is not None and attribution[1] in filename:
+            stages[attribution[0]] = cumtime
         entries.append((tottime, ncalls, cumtime, name, filename))
+    # Peel nested stages out of their callers so the labels are
+    # mutually exclusive (issue excludes select, select excludes wake).
+    for outer, inner in _NESTED_STAGE.items():
+        if outer in stages and inner in stages:
+            stages[outer] -= stages[inner]
+    stages = {name: round(seconds, 4) for name, seconds in stages.items()}
     entries.sort(reverse=True)
     for tottime, ncalls, cumtime, name, filename in entries[:top]:
         hottest.append({

@@ -1,0 +1,295 @@
+"""Scheduler microbenchmark: wake/select queue-operation counting.
+
+The event-driven :class:`~repro.core.issue_queue.ClusterScheduler`
+replaced a heap-churning design whose select popped (and re-pushed)
+every structural-hazard loser every cycle and polled every hazard
+through a per-cycle ``veto`` predicate.  This module makes the win
+measurable: deterministic synthetic kernels drive the *same* micro-op
+stream through an instrumented replica of the old heap scheduler and
+through the current scheduler, count the queue operations each performs
+(heap pushes/pops and heapified elements vs. calendar inserts, bucket
+drains, parks/releases and ready-list deletions), and assert the two
+issue sequences agree cycle for cycle.
+
+Kernels
+-------
+
+``ready_storm``
+    A burst of ALU micro-ops far exceeding the 2-ALU mix, all waking at
+    once.  The old select pops the entire ready heap every cycle only
+    to re-push the losers; the new select scans them in place.
+``hazard_churn``
+    A burst of loads serialized by the paper's in-order
+    address-computation rule.  The old scheduler re-polled every
+    blocked load through the veto predicate each cycle; the new one
+    parks each load on its memory index and releases it exactly once.
+``mixed``
+    A seeded random blend of ALU/FP/memory micro-ops with scattered
+    wake cycles - the equivalence check on an irregular stream, with a
+    typical (less extreme) operation ratio.
+
+``wsrs microbench`` prints one line per kernel (issued micro-ops,
+cycles, queue ops per scheduler, reduction ratio); the tentpole claim
+is the >=5x reduction on the two hazard kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.issue_queue import ClusterScheduler
+from repro.core.lsq import MemoryOrderQueue
+from repro.core.uop import InFlightUop
+from repro.trace.model import (
+    FP_CLASSES,
+    MEMORY_CLASSES,
+    OpClass,
+    TraceInstruction,
+)
+
+#: Functional-unit mix of every kernel cluster (the section-5 mix).
+ISSUE_WIDTH = 4
+NUM_ALUS = 2
+NUM_LSUS = 1
+NUM_FPUS = 1
+
+#: Safety bound on kernel length.
+_MAX_CYCLES = 100_000
+
+
+class _OldHeapScheduler:
+    """Replica of the pre-event-driven scheduler, with op counters.
+
+    Mirrors the committed heap design operation for operation: a
+    pending heap keyed by wake cycle, a ready heap keyed by age, and a
+    select that pops candidates and re-pushes structural-hazard losers,
+    running an optional ``veto`` predicate per candidate per cycle.
+    ``ops`` counts heap pushes, heap pops and heapified elements.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[int, int, InFlightUop]] = []
+        self._ready: List[Tuple[int, InFlightUop]] = []
+        self.ops = 0
+
+    def enqueue(self, uop: InFlightUop, earliest_cycle: int) -> None:
+        self.ops += 1
+        heapq.heappush(self._pending, (earliest_cycle, uop.seq, uop))
+
+    def wake(self, cycle: int) -> None:
+        pending = self._pending
+        if not pending or pending[0][0] > cycle:
+            return
+        ready = self._ready
+        woken: List[Tuple[int, InFlightUop]] = []
+        while pending and pending[0][0] <= cycle:
+            _, seq, uop = heapq.heappop(pending)
+            self.ops += 1
+            woken.append((seq, uop))
+        if len(woken) == 1:
+            self.ops += 1
+            heapq.heappush(ready, woken[0])
+        else:
+            ready.extend(woken)
+            self.ops += len(ready)
+            heapq.heapify(ready)
+
+    def select(self, cycle: int, veto=None) -> List[InFlightUop]:
+        self.wake(cycle)
+        ready = self._ready
+        if not ready:
+            return []
+        picked: List[InFlightUop] = []
+        rejected: List[Tuple[int, InFlightUop]] = []
+        alus, lsus, fpus = NUM_ALUS, NUM_LSUS, NUM_FPUS
+        budget = ISSUE_WIDTH
+        while ready and budget:
+            self.ops += 1
+            seq, uop = heapq.heappop(ready)
+            op = uop.inst.op
+            if op in MEMORY_CLASSES:
+                available = lsus
+            elif op in FP_CLASSES:
+                available = fpus
+            else:
+                available = alus
+            if not available:
+                rejected.append((seq, uop))
+                continue
+            if veto is not None and veto(uop):
+                rejected.append((seq, uop))
+                continue
+            if op in MEMORY_CLASSES:
+                lsus -= 1
+            elif op in FP_CLASSES:
+                fpus -= 1
+            else:
+                alus -= 1
+            picked.append(uop)
+            budget -= 1
+        for entry in rejected:
+            self.ops += 1
+            heapq.heappush(ready, entry)
+        return picked
+
+    def is_empty(self) -> bool:
+        return not self._pending and not self._ready
+
+
+class _CountingScheduler(ClusterScheduler):
+    """The real event-driven scheduler, with state-delta op counting.
+
+    Counts one operation per calendar insert, per entry drained from a
+    bucket (parks included), per un-park release, and per ready-list
+    deletion at select - the structure mutations that correspond to the
+    old design's heap traffic.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.ops = 0
+
+    def enqueue(self, uop: InFlightUop, earliest_cycle: int) -> None:
+        self.ops += 1
+        super().enqueue(uop, earliest_cycle)
+
+    def wake(self, cycle: int) -> None:
+        before = self._pending_size
+        super().wake(cycle)
+        self.ops += before - self._pending_size
+
+    def release_mem(self, mem_index: int) -> None:
+        self.ops += 1
+        super().release_mem(mem_index)
+
+    def select(self, cycle: int,
+               muldiv_quota: Optional[int] = None) -> List[InFlightUop]:
+        parked_before = len(self._parked_muldiv)
+        picked = super().select(cycle, muldiv_quota)
+        self.ops += len(picked)
+        self.ops += abs(len(self._parked_muldiv) - parked_before)
+        return picked
+
+
+def _uop(seq: int, op: OpClass, mem_index: int = -1) -> InFlightUop:
+    inst = TraceInstruction(op=op, dest=None, src1=None, src2=None)
+    return InFlightUop(seq=seq, inst=inst, cluster=0, swapped=False,
+                       psrc1=None, psrc2=None, pdest=None, pold=None,
+                       dispatch_cycle=0, mem_index=mem_index)
+
+
+def _ready_storm_stream(count: int = 96) -> List[Tuple[InFlightUop, int]]:
+    return [(_uop(seq, OpClass.IALU), 1) for seq in range(count)]
+
+
+def _hazard_churn_stream(count: int = 64) -> List[Tuple[InFlightUop, int]]:
+    return [(_uop(seq, OpClass.LOAD, mem_index=seq), 1)
+            for seq in range(count)]
+
+
+def _mixed_stream(count: int = 256,
+                  seed: int = 2002) -> List[Tuple[InFlightUop, int]]:
+    rng = random.Random(seed)
+    classes = (OpClass.IALU, OpClass.IALU, OpClass.IALU, OpClass.FPADD,
+               OpClass.LOAD, OpClass.STORE)
+    stream: List[Tuple[InFlightUop, int]] = []
+    mem_index = 0
+    for seq in range(count):
+        op = rng.choice(classes)
+        index = -1
+        if op in MEMORY_CLASSES:
+            index = mem_index
+            mem_index += 1
+        stream.append((_uop(seq, op, mem_index=index),
+                       1 + rng.randrange(count // 4)))
+    return stream
+
+
+KERNELS = {
+    "ready_storm": _ready_storm_stream,
+    "hazard_churn": _hazard_churn_stream,
+    "mixed": _mixed_stream,
+}
+
+
+def run_kernel(name: str) -> Dict:
+    """Drive one kernel through both schedulers and compare.
+
+    Returns a record with the issue counts, cycles, per-scheduler queue
+    operations and the old/new ratio.  Raises ``AssertionError`` if the
+    two issue sequences ever diverge - the microbench doubles as an
+    equivalence check.
+    """
+    stream = KERNELS[name]()
+
+    old = _OldHeapScheduler()
+    old_issued_upto = 0
+    memorder = MemoryOrderQueue()
+    new = _CountingScheduler(0, ISSUE_WIDTH, NUM_ALUS, NUM_LSUS,
+                             NUM_FPUS, memorder=memorder)
+    for uop, wake_cycle in stream:
+        old.enqueue(uop, wake_cycle)
+        new.enqueue(uop, wake_cycle)
+        if uop.mem_index >= 0:
+            registered = memorder.register()
+            assert registered == uop.mem_index
+    total = len(stream)
+
+    def old_veto(uop: InFlightUop) -> bool:
+        return uop.mem_index >= 0 and uop.mem_index != old_issued_upto
+
+    issued = 0
+    cycles = 0
+    cycle = 0
+    while issued < total:
+        cycle += 1
+        cycles += 1
+        assert cycles < _MAX_CYCLES, f"kernel {name} does not drain"
+        old_picked = old.select(cycle, veto=old_veto)
+        new_picked = new.select(cycle)
+        assert ([u.seq for u in old_picked]
+                == [u.seq for u in new_picked]), (
+            f"kernel {name} diverged at cycle {cycle}: "
+            f"old {[u.seq for u in old_picked]} vs "
+            f"new {[u.seq for u in new_picked]}")
+        for uop in new_picked:
+            issued += 1
+            if uop.mem_index >= 0:
+                old_issued_upto += 1
+                if uop.inst.op is OpClass.STORE:
+                    memorder.issue_store(uop.seq, 8 * uop.seq,
+                                         uop.mem_index)
+                else:
+                    memorder.issue_load(8 * uop.seq, uop.mem_index)
+    assert old.is_empty() and new.is_empty()
+
+    ratio = old.ops / new.ops if new.ops else float("inf")
+    return {
+        "kernel": name,
+        "uops": total,
+        "cycles": cycles,
+        "old_queue_ops": old.ops,
+        "new_queue_ops": new.ops,
+        "reduction": round(ratio, 1),
+    }
+
+
+def run_all() -> List[Dict]:
+    return [run_kernel(name) for name in KERNELS]
+
+
+def format_results(results: List[Dict]) -> str:
+    lines = [
+        "scheduler kernels (old heap scheduler vs event-driven):",
+        f"{'kernel':<16s}{'uops':>8s}{'cycles':>8s}{'old ops':>10s}"
+        f"{'new ops':>10s}{'reduction':>11s}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result['kernel']:<16s}{result['uops']:>8d}"
+            f"{result['cycles']:>8d}{result['old_queue_ops']:>10d}"
+            f"{result['new_queue_ops']:>10d}"
+            f"{result['reduction']:>10.1f}x")
+    return "\n".join(lines)

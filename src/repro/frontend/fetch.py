@@ -70,11 +70,10 @@ class FrontEnd:
         mispredicted = False
         if inst.is_branch:
             self.branches += 1
-            predicted = self.predictor.predict(inst.pc)
+            predicted = self.predictor.resolve(inst.pc, inst.taken)
             mispredicted = predicted != inst.taken
             if mispredicted:
                 self.mispredictions += 1
-            self.predictor.update(inst.pc, inst.taken)
         return FetchedInstruction(inst, mispredicted)
 
     def peek(self) -> Optional[FetchedInstruction]:

@@ -89,6 +89,15 @@ class TwoBcGskewPredictor(BranchPredictor):
         self.history_g0 = history_g0
         self.history_g1 = history_g1
         self.history_meta = history_meta
+        length = self.history.length
+        self._mask_g0 = (1 << min(history_g0, length)) - 1
+        self._mask_g1 = (1 << min(history_g1, length)) - 1
+        self._mask_meta = (1 << min(history_meta, length)) - 1
+        # pc>>2 -> folded address.  ``_fold`` is XOR-linear, so the
+        # expensive fold of the (wide) address is computed once per
+        # branch address and combined with folds of the (narrow)
+        # shifted histories on every prediction.
+        self._fold_cache: dict[int, int] = {}
 
     # -- indexing ---------------------------------------------------------
 
@@ -105,13 +114,19 @@ class TwoBcGskewPredictor(BranchPredictor):
     def _indices(self, pc: int) -> tuple[int, int, int, int]:
         address = pc >> 2
         bits = self.index_bits
-        hist0 = self.history.bits(self.history_g0)
-        hist1 = self.history.bits(self.history_g1)
-        histm = self.history.bits(self.history_meta)
-        base0 = self._fold(address ^ (hist0 << 3))
-        base1 = self._fold(address ^ (hist1 << 1))
-        basem = self._fold(address ^ (histm << 2))
-        index_bim = self._fold(address)
+        cache = self._fold_cache
+        index_bim = cache.get(address)
+        if index_bim is None:
+            index_bim = cache[address] = self._fold(address)
+        hvalue = self.history.value
+        hist0 = hvalue & self._mask_g0
+        hist1 = hvalue & self._mask_g1
+        histm = hvalue & self._mask_meta
+        # fold(a ^ b) == fold(a) ^ fold(b): reuse the cached address
+        # fold; only the narrow shifted histories are folded per call.
+        base0 = index_bim ^ self._fold(hist0 << 3)
+        base1 = index_bim ^ self._fold(hist1 << 1)
+        basem = index_bim ^ self._fold(histm << 2)
         index_g0 = _skew_h(base0, bits)
         index_g1 = _skew_h_inverse(base1, bits)
         index_meta = _skew_h(basem ^ (basem >> 3), bits)
@@ -135,8 +150,17 @@ class TwoBcGskewPredictor(BranchPredictor):
         return self._components(pc)[0]
 
     def update(self, pc: int, taken: bool) -> None:
+        self._train(self._components(pc), taken)
+
+    def resolve(self, pc: int, taken: bool) -> bool:
+        # The indexing work (history folds plus skews) dominates both
+        # halves and nothing changes predictor state between them, so
+        # the combined call computes the components exactly once.
+        return self._train(self._components(pc), taken)
+
+    def _train(self, components, taken: bool) -> bool:
         (overall, pred_bim, pred_g0, pred_g1, pred_gskew, use_gskew,
-         index_bim, index_g0, index_g1, index_meta) = self._components(pc)
+         index_bim, index_g0, index_g1, index_meta) = components
 
         if pred_bim != pred_gskew:
             # The chooser only learns when its inputs disagree.
@@ -163,6 +187,7 @@ class TwoBcGskewPredictor(BranchPredictor):
             self.g1.update(index_g1, taken)
 
         self.history.push(taken)
+        return overall
 
     def storage_bits(self) -> int:
         return (self.bim.storage_bits() + self.g0.storage_bits()

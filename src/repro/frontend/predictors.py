@@ -90,6 +90,18 @@ class BranchPredictor:
     def update(self, pc: int, taken: bool) -> None:
         raise NotImplementedError
 
+    def resolve(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one call; returns the prediction.
+
+        Equivalent to ``predict`` followed by ``update`` with no state
+        change in between.  Predictors whose two halves share expensive
+        indexing work (the 2Bc-gskew recomputes all four bank indices)
+        override this to do that work once.
+        """
+        predicted = self.predict(pc)
+        self.update(pc, taken)
+        return predicted
+
     def storage_bits(self) -> int:
         """Total predictor state, for sizing comparisons."""
         return 0

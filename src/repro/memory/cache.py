@@ -27,6 +27,7 @@ class Cache:
         self.config = config
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
+        self._set_bits = self._set_mask.bit_length()
         self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
         self.hits = 0
         self.misses = 0
@@ -54,8 +55,9 @@ class Cache:
 
         LRU order is updated on both hits and fills.
         """
-        tags = self._sets[self.set_index(addr)]
-        tag = self.tag(addr)
+        line = addr >> self._offset_bits
+        tags = self._sets[line & self._set_mask]
+        tag = line >> self._set_bits
         try:
             position = tags.index(tag)
         except ValueError:
@@ -70,6 +72,21 @@ class Cache:
             del tags[position]
             tags.insert(0, tag)
         return True
+
+    def fill(self, addr: int) -> None:
+        """Count and allocate a known miss for ``addr``.
+
+        Split out of :meth:`access` so a caller that has already probed
+        the set inline (the specialized stepper's L1 fast path) can
+        complete the miss without re-searching the tags.
+        """
+        line = addr >> self._offset_bits
+        tags = self._sets[line & self._set_mask]
+        self.misses += 1
+        if len(tags) >= self.config.associativity:
+            tags.pop()
+            self.evictions += 1
+        tags.insert(0, line >> self._set_bits)
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr`` if present; True if it was."""

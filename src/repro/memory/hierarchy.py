@@ -75,6 +75,28 @@ class MemoryHierarchy:
         self._l2_bus_free_at = start + self.config.l2_refill_cycles
         return AccessResult(latency + queue_delay, False, l2_hit)
 
+    def access_after_l1_miss(self, addr: int, cycle: int):
+        """Slow path for a demand access that already missed in L1.
+
+        The specialized stepper probes the L1 tag array inline (hits
+        are the common case and need no call at all) and lands here
+        only on a miss, with no state touched yet.  This fills L1,
+        accesses L2, applies the refill-bus queueing, and returns
+        ``(latency, l2_hit)``.  The caller owns the loads/stores and
+        L1-hit counters.
+        """
+        self.l1.fill(addr)
+        l2_hit = self.l2.access(addr)
+        latency = self.config.l1.hit_latency + self.config.l1.miss_penalty
+        if not l2_hit:
+            latency += self.config.l2.miss_penalty
+        data_ready = cycle + latency
+        start = self._l2_bus_free_at
+        if start < data_ready:
+            start = data_ready
+        self._l2_bus_free_at = start + self.config.l2_refill_cycles
+        return latency + (start - data_ready), l2_hit
+
     def warm(self, addresses, cycle: int = 0) -> None:
         """Touch a sequence of addresses (cache warm-up helper)."""
         for addr in addresses:

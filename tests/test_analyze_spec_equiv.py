@@ -114,8 +114,10 @@ class TestCorruptions:
 
     def test_dropped_finally_writeback(self, rc512):
         config, source = rc512
-        corrupted = source.replace("    try:\n", "    if True:\n") \
-                          .replace("    finally:", "    if True:")
+        # Anchored on the newline so the inlined L1 probe's nested
+        # try/except (deeper indentation) is left untouched.
+        corrupted = source.replace("\n    try:\n", "\n    if True:\n") \
+                          .replace("\n    finally:", "\n    if True:")
         findings = check(corrupted, config)
         assert_provenance(findings, config)
         assert "SPEC-EQUIV-WRITEBACK" in rules_of(findings)
@@ -127,6 +129,27 @@ class TestCorruptions:
         assert_provenance(findings, config)
         assert "SPEC-EQUIV-WRITEBACK" in rules_of(findings)
         assert any("proc.cycle" in finding.message
+                   for finding in findings)
+
+    def test_dropped_frontend_writeback(self, rc512):
+        config, source = rc512
+        corrupted = source.replace(
+            "        frontend._exhausted = fe_exhausted\n", "")
+        findings = check(corrupted, config)
+        assert_provenance(findings, config)
+        assert "SPEC-EQUIV-WRITEBACK" in rules_of(findings)
+        assert any("frontend._exhausted" in finding.message
+                   for finding in findings)
+
+    def test_wrong_l1_offset_shift(self, rc512):
+        config, source = rc512
+        l1_off = config.memory.l1.line_bytes.bit_length() - 1
+        corrupted = source.replace(f"_addr >> {l1_off}",
+                                   f"_addr >> {l1_off + 1}")
+        findings = check(corrupted, config)
+        assert_provenance(findings, config)
+        assert "SPEC-EQUIV-LITERAL" in rules_of(findings)
+        assert any("line-offset" in finding.message
                    for finding in findings)
 
     def test_dead_rng_draw_site(self, rc512):

@@ -1,0 +1,140 @@
+"""Tests for the perf-trajectory file (BENCH_history.jsonl)."""
+
+import json
+
+import pytest
+
+from repro.experiments import perf_history
+
+
+def make_record(benchmark="mcf", measure=20_000, warmup=20_000,
+                quick=False, kips=300.0):
+    return {
+        "benchmark": benchmark,
+        "measure": measure,
+        "warmup": warmup,
+        "quick": quick,
+        "identical": True,
+        "cells": [
+            {
+                "config": name,
+                "reference_kips": kips / 3,
+                "event_horizon_kips": kips / 2,
+                "specialized_kips": kips,
+            }
+            for name in ("RR 256", "WSRS RC S 512")
+        ],
+    }
+
+
+@pytest.fixture()
+def history_path(tmp_path):
+    return str(tmp_path / "BENCH_history.jsonl")
+
+
+class TestAppendAndLoad:
+    def test_round_trip(self, history_path):
+        line = perf_history.append_record(
+            make_record(), path=history_path, sha="abc1234",
+            date="2026-08-07")
+        loaded = perf_history.load_history(history_path)
+        assert loaded == [line]
+        assert line["sha"] == "abc1234"
+        assert line["date"] == "2026-08-07"
+        assert line["cells"]["RR 256"]["specialized_kips"] == 300.0
+
+    def test_appends_accumulate_in_order(self, history_path):
+        perf_history.append_record(make_record(kips=100), sha="a",
+                                   path=history_path)
+        perf_history.append_record(make_record(kips=200), sha="b",
+                                   path=history_path)
+        shas = [line["sha"]
+                for line in perf_history.load_history(history_path)]
+        assert shas == ["a", "b"]
+
+    def test_lines_are_valid_jsonl(self, history_path):
+        perf_history.append_record(make_record(), path=history_path,
+                                   sha="x")
+        with open(history_path) as handle:
+            raw = handle.read()
+        assert raw.endswith("\n")
+        assert [json.loads(line) for line in raw.splitlines()]
+
+    def test_missing_file_loads_empty(self, history_path):
+        assert perf_history.load_history(history_path) == []
+
+    def test_git_revision_reports_something(self):
+        # In the repo this is a short hex SHA; outside it, the default.
+        assert perf_history.git_revision(default="fallback")
+
+
+class TestComparability:
+    def test_last_comparable_matches_conditions(self, history_path):
+        perf_history.append_record(make_record(quick=True, kips=50),
+                                   sha="quick", path=history_path)
+        perf_history.append_record(make_record(kips=100), sha="full1",
+                                   path=history_path)
+        perf_history.append_record(make_record(kips=120), sha="full2",
+                                   path=history_path)
+        history = perf_history.load_history(history_path)
+        match = perf_history.last_comparable(history, make_record())
+        assert match["sha"] == "full2"
+        quick = perf_history.last_comparable(history,
+                                             make_record(quick=True))
+        assert quick["sha"] == "quick"
+
+    def test_different_benchmark_is_not_comparable(self, history_path):
+        perf_history.append_record(make_record(benchmark="gzip"),
+                                   path=history_path, sha="g")
+        history = perf_history.load_history(history_path)
+        assert perf_history.last_comparable(history, make_record()) is None
+
+
+class TestRegressionGate:
+    def test_no_history_passes(self, history_path):
+        ok, messages = perf_history.check_regression(
+            make_record(), path=history_path)
+        assert ok
+        assert "nothing to gate" in messages[0]
+
+    def test_equal_performance_passes(self, history_path):
+        perf_history.append_record(make_record(kips=300),
+                                   path=history_path, sha="base")
+        ok, messages = perf_history.check_regression(
+            make_record(kips=300), path=history_path)
+        assert ok and not messages
+
+    def test_noise_within_tolerance_passes(self, history_path):
+        perf_history.append_record(make_record(kips=300),
+                                   path=history_path, sha="base")
+        ok, _ = perf_history.check_regression(
+            make_record(kips=200), path=history_path, tolerance=0.5)
+        assert ok
+
+    def test_structural_regression_fails(self, history_path):
+        perf_history.append_record(make_record(kips=300),
+                                   path=history_path, sha="base")
+        ok, messages = perf_history.check_regression(
+            make_record(kips=100), path=history_path, tolerance=0.5)
+        assert not ok
+        assert any("below" in message for message in messages)
+        assert any("base" in message for message in messages)
+
+    def test_gate_uses_last_comparable_record_only(self, history_path):
+        perf_history.append_record(make_record(kips=1000),
+                                   path=history_path, sha="old")
+        perf_history.append_record(make_record(kips=100),
+                                   path=history_path, sha="new")
+        ok, _ = perf_history.check_regression(
+            make_record(kips=90), path=history_path, tolerance=0.5)
+        assert ok  # 90 vs the *last* record (100), not the old 1000
+
+    def test_unknown_configs_are_ignored(self, history_path):
+        perf_history.append_record(make_record(kips=300),
+                                   path=history_path, sha="base")
+        record = make_record(kips=300)
+        record["cells"].append({
+            "config": "BRAND NEW", "reference_kips": 1.0,
+            "event_horizon_kips": 1.0, "specialized_kips": 1.0})
+        ok, _ = perf_history.check_regression(record, path=history_path)
+        assert ok

@@ -54,61 +54,81 @@ class TestSharedDivider:
         # 2 units x one 15-cycle op: ~2/15 IPC ceiling
         assert stats.ipc <= 2 / 15 + 0.02
 
-    def test_shared_pipelined_veto_claims_unit_per_cycle(self):
-        """shared+pipelined: one op per unit pair per cycle, via
-        _muldiv_used_now claiming inside the selection veto."""
+    def test_shared_pipelined_quota_claims_unit_per_pair(self):
+        """shared+pipelined: one op per unit pair per cycle.  The first
+        cluster of a pair consumes the quota and raises busy_until, so
+        the neighbour's quota is 0 the same cycle."""
         processor = Processor(
             baseline_rr_256(shared_muldiv=True), iter([]),
             predictor=AlwaysTakenPredictor())
-        uops = [_inflight_muldiv(seq, cluster=seq)
-                for seq in range(4)]
-        processor._muldiv_used_now.clear()
+        assert processor._muldiv_vetoed
         # Clusters 0 and 1 share unit 0; clusters 2 and 3 share unit 1.
-        assert not processor._veto(uops[0])          # claims unit 0
-        assert processor._muldiv_used_now == {0}
-        assert processor._veto(uops[1])              # unit 0 taken
-        assert not processor._veto(uops[2])          # claims unit 1
-        assert processor._veto(uops[3])              # unit 1 taken
-        assert processor._muldiv_used_now == {0, 1}
+        for seq, cluster in enumerate((0, 1, 2, 3)):
+            processor.schedulers[cluster].enqueue(
+                _inflight_muldiv(seq, cluster=cluster), 1)
+        processor._issue(1)
+        assert processor._muldiv_busy_until[:2] == [2, 2]
+        # Clusters 0 and 2 won their pair's unit; 1 and 3 parked.
+        assert not processor.schedulers[0]._parked_muldiv
+        assert not processor.schedulers[2]._parked_muldiv
+        assert [e[0] for e in processor.schedulers[1]._parked_muldiv] \
+            == [1]
+        assert [e[0] for e in processor.schedulers[3]._parked_muldiv] \
+            == [3]
+        # Next cycle the units are free again: the parked ops issue.
+        processor._issue(2)
+        assert not processor.schedulers[1]._parked_muldiv
+        assert not processor.schedulers[3]._parked_muldiv
+        assert processor.stats.issued == 4
 
-    def test_nonpipelined_private_veto_until_release(self):
-        """non-pipelined private units: busy-until vetoes later ops and
-        clears exactly at the release cycle."""
+    def test_nonpipelined_private_parks_until_release(self):
+        """non-pipelined private units: a busy unit parks later ops,
+        which re-enter exactly at the release cycle."""
         processor = Processor(
             baseline_rr_256(pipelined_muldiv=False), iter([]),
             predictor=AlwaysTakenPredictor())
         processor._muldiv_busy_until[2] = 10
-        busy = _inflight_muldiv(0, cluster=2)
-        other = _inflight_muldiv(1, cluster=3)
-        processor.cycle = 9
-        processor._muldiv_used_now.clear()
-        assert processor._veto(busy)        # unit 2 busy through cycle 9
-        assert not processor._veto(other)   # private unit 3 is free
-        processor.cycle = 10
-        processor._muldiv_used_now.clear()
-        assert not processor._veto(busy)    # released this cycle
+        processor.schedulers[2].enqueue(_inflight_muldiv(0, cluster=2), 9)
+        processor.schedulers[3].enqueue(_inflight_muldiv(1, cluster=3), 9)
+        processor._issue(9)
+        # unit 2 busy through cycle 9: parked; private unit 3 was free.
+        assert [e[0] for e in processor.schedulers[2]._parked_muldiv] \
+            == [0]
+        assert processor.stats.issued == 1
+        processor._issue(10)  # released this cycle
+        assert not processor.schedulers[2]._parked_muldiv
+        assert processor.stats.issued == 2
 
-    def test_nonpipelined_shared_combines_both_vetoes(self):
+    def test_nonpipelined_shared_blocks_for_the_full_latency(self):
         processor = Processor(
             baseline_rr_256(pipelined_muldiv=False, shared_muldiv=True),
             iter([]), predictor=AlwaysTakenPredictor())
-        processor.cycle = 5
-        processor._muldiv_used_now.clear()
-        first = _inflight_muldiv(0, cluster=0)
-        neighbour = _inflight_muldiv(1, cluster=1)  # same shared unit 0
-        assert not processor._veto(first)   # claims shared unit 0
-        assert processor._veto(neighbour)   # used-now claim blocks it
-        processor._muldiv_used_now.clear()  # next cycle's _issue clears
-        processor._muldiv_busy_until[0] = 20
-        assert processor._veto(neighbour)   # long-latency busy blocks it
+        processor.schedulers[0].enqueue(_inflight_muldiv(0, cluster=0), 5)
+        processor.schedulers[1].enqueue(_inflight_muldiv(1, cluster=1), 5)
+        processor._issue(5)
+        # Cluster 0 claimed shared unit 0 for the whole operation; the
+        # neighbour parked behind the long-latency busy window.
+        assert processor.stats.issued == 1
+        busy_until = processor._muldiv_busy_until[0]
+        assert busy_until > 6
+        assert [e[0] for e in processor.schedulers[1]._parked_muldiv] \
+            == [1]
+        processor._issue(busy_until - 1)
+        assert processor.stats.issued == 1  # still busy: still parked
+        processor._issue(busy_until)
+        assert processor.stats.issued == 2  # released exactly on time
 
-    def test_private_pipelined_veto_is_inert(self):
+    def test_private_pipelined_units_are_untracked(self):
         processor = Processor(baseline_rr_256(), iter([]),
                               predictor=AlwaysTakenPredictor())
-        processor._muldiv_used_now.clear()
-        assert not processor._veto(_inflight_muldiv(0, cluster=0))
-        assert not processor._veto(_inflight_muldiv(1, cluster=0))
-        assert processor._muldiv_used_now == set()
+        assert not processor._muldiv_vetoed
+        processor.schedulers[0].enqueue(_inflight_muldiv(0, cluster=0), 1)
+        processor.schedulers[0].enqueue(_inflight_muldiv(1, cluster=0), 1)
+        processor._issue(1)
+        # Both issue in one cycle; nothing parks, nothing goes busy.
+        assert processor.stats.issued == 2
+        assert not processor.schedulers[0]._parked_muldiv
+        assert processor._muldiv_busy_until == [0, 0, 0, 0]
 
     def test_sharing_is_harmless_without_muldiv(self):
         from repro.trace.profiles import spec_trace
