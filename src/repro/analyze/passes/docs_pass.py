@@ -16,6 +16,7 @@ RULES = {
     "DOC-LINK": "relative markdown link target does not exist",
     "DOC-ANCHOR": "markdown anchor has no matching heading",
     "DOC-COMMAND": "documented wsrs command no longer parses",
+    "DOC-CLI-COVERAGE": "CLI subcommand mentioned nowhere in the docs",
 }
 
 

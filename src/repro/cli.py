@@ -23,6 +23,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs serve                     # run the simulation job service (HTTP)
     wsrs submit gzip --wait        # submit one job to a running service
     wsrs loadtest                  # drive N clients -> BENCH_service.json
+    wsrs explore                   # design-space explorer -> BENCH_explore.json
 
 ``wsrs simulate --sanitize`` (or ``WSRS_SANITIZE=1`` for any command)
 runs the cycle-level pipeline sanitizer of :mod:`repro.verify.sanitizer`
@@ -372,8 +373,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
     from repro.service.client import JobFailed, ServiceClient
 
+    if args.kind != "explore" and args.benchmark is None:
+        print("error: a benchmark is required unless --kind explore",
+              file=sys.stderr)
+        return 2
     client = ServiceClient(args.url, client_id=args.client)
     request = {"kind": args.kind, "benchmarks": [args.benchmark],
                "configs": [args.config], "measure": args.measure,
@@ -382,6 +389,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.kind == "matrix":
         request["benchmarks"] = args.benchmarks or [args.benchmark]
         request["configs"] = [args.config]
+    if args.kind == "explore":
+        lattice = None
+        if args.lattice is not None:
+            with open(args.lattice, "r", encoding="utf-8") as handle:
+                lattice = json.load(handle)
+        request = {"kind": "explore", "lattice": lattice,
+                   "budget": args.budget, "rank": args.rank,
+                   "prefilter": args.prefilter, "measure": args.measure,
+                   "warmup": args.warmup, "seed": args.seed,
+                   "priority": args.priority}
     if args.no_wait:
         record = client.submit(request)
         print(f"job {record['id']} {record['state']}"
@@ -399,6 +416,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if record["state"] != "done":
         print(f"error: {record.get('error')}", file=sys.stderr)
         return 1
+    if args.kind == "explore":
+        result = record["result"]
+        counts = result["counts"]
+        print(f"explored {counts['cells']} cells, simulated "
+              f"{counts['simulated']}, frontier {counts['frontier']}: "
+              + ", ".join(result["frontier"]))
+        return 0
     for cell in record["result"]["cells"]:
         summary = cell["summary"]
         print(f"{cell['benchmark']:<10s}{cell['config']:<16s}"
@@ -418,6 +442,56 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                  server_workers=args.workers or 2,
                  direct_workers=args.workers)
     return 0 if record["identical"] and not record["degraded"] else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import explore
+    from repro.explore.explorer import save_payload
+    from repro.explore.lattice import LatticeError, LatticeSpec
+
+    payload_spec = None
+    if args.lattice is not None:
+        with open(args.lattice, "r", encoding="utf-8") as handle:
+            payload_spec = json.load(handle)
+    try:
+        spec = LatticeSpec.from_dict(payload_spec)
+    except LatticeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    done = [0]
+
+    def progress(result) -> None:
+        done[0] += 1
+        print(f"  [{done[0]}] {result.spec.config.name:<28s}"
+              f"{result.spec.benchmark:<8s}IPC {result.stats.ipc:.3f}")
+
+    payload = explore(spec, budget=args.budget, prefilter=args.prefilter,
+                      rank=args.rank, measure=args.measure,
+                      warmup=args.warmup, seed=args.seed,
+                      workers=args.workers, progress=progress)
+    counts = payload["counts"]
+    print(f"lattice {counts['cells']} cells: {counts['valid']} valid "
+          f"({counts['incompatible']} incompatible, {counts['invalid']} "
+          f"CFG-invalid, {counts['duplicate']} duplicate); pruned "
+          f"{counts['pruned']} analytically, simulated "
+          f"{counts['simulated']}")
+    print(f"{'cell':<28s}{'IPC':>7s}{'E/cyc':>7s}{'E/inst':>8s}"
+          f"{args.rank.upper():>9s}  frontier")
+    for row in payload["results"]:
+        marker = "*" if row["frontier"] else (
+            f"< {row['dominated_by']}" if row["dominated_by"] else "")
+        print(f"{row['cell']:<28s}{row['ipc_geomean']:>7.3f}"
+              f"{row['energy_nj_per_cycle']:>7.2f}"
+              f"{row['energy_per_instruction']:>8.3f}"
+              f"{row[args.rank]:>9.3f}  {marker}")
+    save_payload(payload, args.out)
+    print(f"frontier ({counts['frontier']} cells): "
+          + ", ".join(payload["frontier"]))
+    print(f"wrote {args.out}")
+    return 0 if payload["frontier"] else 1
 
 
 def _cmd_profiles(args: argparse.Namespace) -> int:
@@ -670,11 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     pj = sub.add_parser(
         "submit", help="submit one job to a running wsrs service")
-    pj.add_argument("benchmark", choices=sorted(PROFILES))
+    pj.add_argument("benchmark", nargs="?", default=None,
+                    choices=sorted(PROFILES),
+                    help="benchmark to run (unused by --kind explore, "
+                         "whose work is named by the lattice)")
     pj.add_argument("--config", default="WSRS RC S 512",
                     choices=[c.name for c in figure4_configs()])
     pj.add_argument("--kind", default="simulate",
-                    choices=["simulate", "matrix", "stacks"])
+                    choices=["simulate", "matrix", "stacks", "explore"])
     pj.add_argument("--url", default="http://127.0.0.1:8787")
     pj.add_argument("--client", default="cli",
                     help="client id used for quota accounting")
@@ -685,6 +762,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="0 (soonest) .. 9")
     pj.add_argument("--benchmarks", nargs="*", default=None,
                     metavar="NAME", help="benchmark list for --kind matrix")
+    pj.add_argument("--lattice", default=None, metavar="FILE",
+                    help="JSON lattice spec for --kind explore "
+                         "(default: the built-in lattice)")
+    pj.add_argument("--budget", type=int, default=16,
+                    help="simulation budget for --kind explore")
+    pj.add_argument("--rank", default="ed2p", choices=["ed", "ed2p"],
+                    help="rank metric for --kind explore")
+    pj.add_argument("--no-prefilter", dest="prefilter",
+                    action="store_false",
+                    help="disable the analytic pre-filter for --kind "
+                         "explore")
     pj.add_argument("--timeout", type=float, default=600.0,
                     help="how long to wait for completion")
     pj.add_argument("--no-wait", action="store_true",
@@ -712,6 +800,43 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N", help="embedded-server pool size")
     py.add_argument("--out", default="BENCH_service.json")
     py.set_defaults(func=_cmd_loadtest)
+
+    pq = sub.add_parser(
+        "explore",
+        help="design-space auto-explorer: enumerate a config lattice, "
+             "gate on CFG-* rules, prune with the analytic throughput "
+             "pre-filter, simulate the survivors and write the ED/ED2P "
+             "Pareto frontier to BENCH_explore.json")
+    pq.add_argument("--lattice", default=None, metavar="FILE",
+                    help="JSON lattice spec (axes: specializations, "
+                         "clusters, registers, widths, steerings, "
+                         "deadlocks, benchmarks; missing axes take the "
+                         "defaults); default: the built-in 384-cell "
+                         "lattice")
+    pq.add_argument("--budget", type=int, default=16,
+                    help="lattice cells granted simulation time; the "
+                         "analytic Pareto frontier is never pruned even "
+                         "past the budget")
+    pq.add_argument("--no-prefilter", dest="prefilter",
+                    action="store_false",
+                    help="simulate every valid cell (ground-truth mode; "
+                         "ignores --budget)")
+    pq.add_argument("--rank", default="ed2p", choices=["ed", "ed2p"],
+                    help="scalar ranking metric: energy-delay or "
+                         "energy-delay-squared product")
+    pq.add_argument("--measure", type=int, default=6_000,
+                    help="measured slice length per cell")
+    pq.add_argument("--warmup", type=int, default=4_000,
+                    help="warm-up instructions per cell")
+    pq.add_argument("--seed", type=int, default=1,
+                    help="workload generator seed")
+    pq.add_argument("--workers", type=_worker_count, default=None,
+                    metavar="N",
+                    help="parallel simulation processes (default: all "
+                         "cores; 1 = serial determinism-debug path)")
+    pq.add_argument("--out", default="BENCH_explore.json",
+                    help="payload destination")
+    pq.set_defaults(func=_cmd_explore)
 
     pt = sub.add_parser("savetrace", help="freeze a workload to a file")
     pt.add_argument("benchmark", choices=sorted(PROFILES))

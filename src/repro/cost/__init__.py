@@ -7,15 +7,18 @@ from repro.cost.cacti import (
     pipeline_depth,
 )
 from repro.cost.complexity import bypass_sources, wakeup_comparators
+from repro.cost.proxy import CostProxy, config_cost
 from repro.cost.report import build_table1, format_table1
 
 __all__ = [
+    "CostProxy",
     "access_time_ns",
     "area_ratio",
     "bit_area",
     "build_table1",
     "bypass_sources",
     "cell_area",
+    "config_cost",
     "energy_nj_per_cycle",
     "format_table1",
     "pipeline_depth",

@@ -1,0 +1,167 @@
+"""Energy/area proxy for *arbitrary* machine configurations.
+
+Table 1 (:mod:`repro.cost.report`) prices five hand-described register
+file organisations.  The design-space explorer (:mod:`repro.explore`)
+needs the same quantities for any :class:`~repro.config.MachineConfig`
+it enumerates, so this module derives the register-file organisation a
+configuration implies - copies, ports, bank geometry - by the same
+conventions the Table 1 columns follow, and feeds it to the calibrated
+CACTI surrogate and the Formula 1 area model:
+
+* **read ports per copy** - two operands per issue slot, so
+  ``2 * cluster.issue_width`` (the (4R, ...) of every clustered Table 1
+  column, 2-way clusters);
+* **no specialization** - a distributed noWS-D-style file: one full copy
+  per cluster, every copy written by all ``RESULTS_PER_CLUSTER * n``
+  result buses (a single-cluster machine degenerates to the monolithic
+  noWS-M shape);
+* **write specialization** - one full copy per cluster but only the
+  local cluster's ``RESULTS_PER_CLUSTER`` write ports (the WS column);
+* **WSRS** - read specialization cuts the read-connected copies to what
+  the N-cluster mapping needs
+  (:meth:`~repro.extensions.general_wsrs.WsrsMapping.read_copies_per_register`:
+  2 copies on the 4-cluster machine, 3 on the Fano-plane 7-cluster one),
+  and each of the ``n`` banks holds ``total * copies / n`` registers -
+  the 256-entry WSRS banks of Table 1.
+
+The proxy prices both the integer and the FP file and adds the
+section 4.3 bypass/wake-up complexity counts, so the explorer can rank
+candidate configurations on energy-delay products without a Table 1
+column existing for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+from repro.cost.area import register_file_area
+from repro.cost.cacti import access_time_ns, energy_nj_per_cycle, \
+    pipeline_depth
+from repro.cost.complexity import (
+    RESULTS_PER_CLUSTER,
+    bypass_sources,
+    result_buses,
+    wakeup_comparators,
+)
+from repro.cost.report import RegisterFileOrganization
+
+#: Design-point clock of the paper's CACTI runs (section 4.2.2).
+DEFAULT_CLOCK_GHZ = 10.0
+
+#: Rename/dispatch energy per unit of front-end width, nJ/cycle.  The
+#: register files dominate the budget, but the rename map and dispatch
+#: crossbar scale with fetch width; without this term a 4-wide and an
+#: 8-wide front end around the same files would price identically and
+#: the explorer could not trade width against energy at all.
+FRONT_END_NJ_PER_WIDTH = 0.05
+
+
+@dataclass(frozen=True)
+class CostProxy:
+    """Analytic cost summary of one machine configuration."""
+
+    config_name: str
+    int_file: RegisterFileOrganization
+    fp_file: RegisterFileOrganization
+    #: Peak nJ/cycle: both register files plus the width-proportional
+    #: front-end (rename/dispatch) term.
+    energy_nj_per_cycle: float
+    #: Read access time of the (larger) integer file, ns.
+    access_ns: float
+    #: Register-read pipeline stages at the design-point clock.
+    pipeline_cycles: int
+    #: Total cell area of both files, in w^2 units.
+    area_w2: int
+    #: Result buses one operand port monitors.
+    visible_buses: int
+    bypass_sources: int
+    wakeup_comparators: int
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config_name,
+            "energy_nj_per_cycle": round(self.energy_nj_per_cycle, 4),
+            "access_ns": round(self.access_ns, 4),
+            "pipeline_cycles": self.pipeline_cycles,
+            "area_w2": self.area_w2,
+            "visible_buses": self.visible_buses,
+            "bypass_sources": self.bypass_sources,
+            "wakeup_comparators": self.wakeup_comparators,
+        }
+
+
+def _file_organization(config: MachineConfig, label: str,
+                       total: int) -> RegisterFileOrganization:
+    """The register-file organisation a configuration implies for one
+    register class (``total`` physical registers)."""
+    n = config.num_clusters
+    read_ports = 2 * config.cluster.issue_width
+    if config.specialization == "none":
+        write_ports = RESULTS_PER_CLUSTER * n
+        copies = n
+        bank_entries = total
+    elif config.specialization == "ws":
+        write_ports = RESULTS_PER_CLUSTER
+        copies = n
+        bank_entries = total
+    else:  # wsrs
+        from repro.extensions.general_wsrs import make_mapping
+
+        write_ports = RESULTS_PER_CLUSTER
+        copies = make_mapping(n).read_copies_per_register(
+            ports_per_copy=read_ports)
+        bank_entries = math.ceil(total * copies / n)
+    return RegisterFileOrganization(
+        name=f"{config.name}/{label}", num_registers=total,
+        copies=copies, read_ports=read_ports, write_ports=write_ports,
+        subfiles=n, bank_entries=bank_entries, num_clusters=n,
+        read_specialized=config.uses_read_specialization)
+
+
+def _file_energy(org: RegisterFileOrganization) -> float:
+    return energy_nj_per_cycle(org.bank_entries, org.read_ports,
+                               org.write_ports, banks=org.subfiles)
+
+
+def _file_area(org: RegisterFileOrganization) -> int:
+    return register_file_area(org.num_registers, org.read_ports,
+                              org.write_ports, org.copies)
+
+
+def _visible_buses(config: MachineConfig) -> int:
+    if config.uses_read_specialization:
+        from repro.extensions.general_wsrs import make_mapping
+
+        return make_mapping(config.num_clusters).result_buses_per_operand(
+            RESULTS_PER_CLUSTER)
+    return result_buses(config.num_clusters)
+
+
+def config_cost(config: MachineConfig,
+                clock_ghz: float = DEFAULT_CLOCK_GHZ) -> CostProxy:
+    """Price one configuration: register files, bypass, wake-up."""
+    int_file = _file_organization(config, "int",
+                                  config.int_physical_registers)
+    fp_file = _file_organization(config, "fp",
+                                 config.fp_physical_registers)
+    access = max(access_time_ns(int_file.bank_entries, int_file.read_ports,
+                                int_file.write_ports),
+                 access_time_ns(fp_file.bank_entries, fp_file.read_ports,
+                                fp_file.write_ports))
+    depth = pipeline_depth(access, clock_ghz)
+    visible = _visible_buses(config)
+    return CostProxy(
+        config_name=config.name,
+        int_file=int_file,
+        fp_file=fp_file,
+        energy_nj_per_cycle=(_file_energy(int_file) + _file_energy(fp_file)
+                             + FRONT_END_NJ_PER_WIDTH * config.front_width),
+        access_ns=access,
+        pipeline_cycles=depth,
+        area_w2=_file_area(int_file) + _file_area(fp_file),
+        visible_buses=visible,
+        bypass_sources=bypass_sources(depth, visible),
+        wakeup_comparators=wakeup_comparators(visible),
+    )

@@ -1,0 +1,51 @@
+"""Design-space auto-explorer (ROADMAP: explorer as a service job).
+
+The paper argues that write/read specialization buys back complexity
+headroom to spend on wider, deeper machines; this package tests that
+claim across a *lattice* of candidate configurations instead of the six
+hand-picked section-5 points:
+
+1. :mod:`repro.explore.lattice` enumerates the parameterized config
+   lattice (specialization x clusters x register-subset size x width x
+   steering x deadlock policy) and gates every cell on the ``CFG-*``
+   static rules of :mod:`repro.verify.rules`;
+2. :mod:`repro.explore.queuing` prunes the valid cells with an analytic
+   M/M/c-style throughput pre-filter (occupancy per FU class and issue
+   queue, from the profile instruction mix - in the style of Carroll &
+   Lin's queuing model for unit sizing);
+3. :mod:`repro.explore.explorer` fans the survivors through the
+   parallel engine (:func:`repro.experiments.runner.execute_many`) and
+4. :mod:`repro.explore.frontier` ranks the measured results by ED or
+   ED**2*P using the :mod:`repro.cost` energy proxies, emitting the
+   Pareto frontier plus dominated-point provenance.
+
+``wsrs explore`` is the CLI entry point; the service accepts the same
+work as an ``explore`` job kind (:mod:`repro.service.jobs`), and both
+paths share :func:`repro.explore.explorer.frontier_payload`, so a
+service job's result is bit-identical to a direct run.
+"""
+
+from repro.explore.explorer import (
+    DEFAULT_BUDGET,
+    explore,
+    frontier_payload,
+    survivor_specs,
+)
+from repro.explore.frontier import FrontierPoint, pareto, rank_value
+from repro.explore.lattice import LatticeCell, LatticeSpec, enumerate_lattice
+from repro.explore.queuing import estimate_throughput, prefilter_cells
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "FrontierPoint",
+    "LatticeCell",
+    "LatticeSpec",
+    "enumerate_lattice",
+    "estimate_throughput",
+    "explore",
+    "frontier_payload",
+    "pareto",
+    "prefilter_cells",
+    "rank_value",
+    "survivor_specs",
+]

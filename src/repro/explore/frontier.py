@@ -1,0 +1,85 @@
+"""Energy-delay Pareto ranking with dominated-point provenance.
+
+Every explored configuration reduces to a point in the plane
+``(energy/instruction, delay)`` - energy from the :mod:`repro.cost`
+proxies, delay as CPI at the fixed design-point clock.  Point ``a``
+*dominates* ``b`` when it is no worse on both axes and strictly better
+on at least one; exact ties dominate nothing, so equally good designs
+are all kept on the frontier.
+
+Scalar ranking uses the classic products: ``ED = E_inst * D`` (the
+energy-delay product) and ``ED2P = E_inst * D**2`` (energy-delay-squared,
+which weights performance more heavily - the conventional metric when
+voltage scaling can trade the energy back).  Both are per committed
+instruction, so they are throughput-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ExperimentError
+
+#: Supported scalar rank metrics.
+RANKS = ("ed", "ed2p")
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One candidate in the energy-delay plane."""
+
+    name: str
+    #: nJ per committed instruction.
+    energy_per_instruction: float
+    #: Cycles per committed instruction (delay at fixed clock).
+    delay: float
+
+
+def rank_value(point: FrontierPoint, rank: str = "ed2p") -> float:
+    """The scalar ED / ED**2*P value of one point (lower is better)."""
+    if rank not in RANKS:
+        raise ExperimentError(f"unknown rank metric {rank!r}; choose "
+                              f"from {list(RANKS)}")
+    if rank == "ed":
+        return point.energy_per_instruction * point.delay
+    return point.energy_per_instruction * point.delay ** 2
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """Pareto dominance; exact ties on both axes dominate nothing."""
+    if a.energy_per_instruction > b.energy_per_instruction:
+        return False
+    if a.delay > b.delay:
+        return False
+    return (a.energy_per_instruction < b.energy_per_instruction
+            or a.delay < b.delay)
+
+
+def pareto(points: Sequence[FrontierPoint],
+           ) -> Tuple[Set[str], Dict[str, str]]:
+    """Split points into the frontier and the dominated remainder.
+
+    Returns ``(frontier_names, dominated_by)`` where ``dominated_by``
+    maps each dominated point to the name of one dominating frontier
+    point - deterministically the dominator with the lowest
+    ``(energy, delay, name)`` - as provenance for reports.
+    """
+    frontier: Set[str] = set()
+    dominated_by: Dict[str, str] = {}
+    ordered = sorted(points, key=lambda p: (p.energy_per_instruction,
+                                            p.delay, p.name))
+    for point in ordered:
+        dominator = next((other for other in ordered
+                          if dominates(other, point)), None)
+        if dominator is None:
+            frontier.add(point.name)
+        else:
+            dominated_by[point.name] = dominator.name
+    return frontier, dominated_by
+
+
+def ranked(points: Sequence[FrontierPoint],
+           rank: str = "ed2p") -> List[FrontierPoint]:
+    """Points sorted best-first by the rank metric (name breaks ties)."""
+    return sorted(points, key=lambda p: (rank_value(p, rank), p.name))

@@ -1,0 +1,310 @@
+"""Analytic throughput pre-filter: M/M/c occupancy per service station.
+
+Simulating every lattice cell is exactly the cost explosion the
+explorer exists to avoid, so valid cells first pass through a queuing
+estimate in the style of Carroll & Lin's model for functional-unit and
+issue-queue sizing (PAPERS.md): the machine is a network of service
+stations - FU classes, issue slots, L1 ports, the front end, the
+instruction window - and each station bounds the sustainable IPC at a
+target occupancy.
+
+For each station the profile's instruction mix supplies the *service
+demand* ``d`` (occupancy-cycles one average instruction imposes) and
+the configuration supplies the server count ``m``; an M/M/c station
+saturates softly, so its occupancy contributes ``d / (rho_max * m)``
+cycles per instruction with ``rho_max < 1``.  The estimate is a hybrid
+of saturation bounds and additive stall terms (the same CPI-stack
+decomposition ``wsrs stacks`` measures):
+
+* the **structural CPI** is the worst saturation term: the widest of
+  ``1/width`` (front end), the busiest station's occupancy, and
+  Little's law (mean window residency over the effective window - ROB,
+  cluster windows, physical-register headroom);
+* **branch stalls** add refill loss (branch fraction x estimated miss
+  rate x penalty plus resolution depth);
+* **memory stalls** add the profile's expected hierarchy cycles per
+  load - fully serial for pointer-chasing profiles, half-overlapped
+  otherwise;
+* **dependency stalls** add the issue gaps the profile's producer
+  locality forces (``dep_locality`` close producers that cannot be
+  bridged by same-cycle issue).
+
+The sum is then degraded by a steering *balance factor* - the WSRS
+allocation constraint costs a few percent of throughput (Figure 5
+quantifies the unbalance) - and by a register-subset pressure factor
+when write specialization leaves a subset smaller than the architected
+count, then combined with the :mod:`repro.cost.proxy` energy model
+into analytic ED/ED**2*P scores.
+
+The pre-filter keeps (a) every cell on the *analytic* Pareto frontier
+in (energy/instruction, delay) - so a cell the model itself considers
+non-dominated is never pruned - plus (b) the best remaining cells by
+the analytic rank metric up to the simulation budget.  It is a model,
+not an oracle: the guard test in ``tests/test_explore.py`` checks that
+for the shipped profiles the cells simulation puts on the frontier
+survive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.cost.proxy import config_cost
+from repro.explore.frontier import FrontierPoint, pareto, rank_value
+from repro.explore.lattice import LatticeCell
+from repro.trace.model import OpClass
+from repro.trace.profiles import PROFILES, WorkloadProfile
+
+#: Target occupancy of an M/M/c station: beyond ~85 % queueing delay
+#: diverges, so sustained throughput plans for rho below it.
+RHO_MAX = 0.85
+
+#: Cycles an average instruction spends in the window beyond its own
+#: execution latency (front-end depth + issue + commit bureaucracy).
+BASE_RESIDENCY = 12.0
+
+#: Branch-resolution depth added to the minimum misprediction penalty.
+RESOLVE_DEPTH = 8.0
+
+#: Issue-gap cycles one close-producer dependency costs on average
+#: (wake-up/select plus forwarding; calibrated against the simulator's
+#: gzip CPI at the section-5 design points).
+DEP_STALL_CYCLES = 1.3
+
+#: Fraction of a load's hierarchy cycles the window cannot hide when
+#: accesses are independent (pointer-chasing profiles serialise fully).
+MEM_OVERLAP = 0.5
+
+#: Throughput retained under each steering policy (1 - steering loss);
+#: round-robin is perfectly balanced by construction, the WSRS policies
+#: lose a few percent to the allocation constraint (Figure 5).
+BALANCE_FACTORS = {
+    "round_robin": 1.0,
+    "random_commutative": 0.97,
+    "random_monadic": 0.94,
+    "mapped_random": 0.96,
+    "dependence_aware": 0.98,
+}
+
+
+@dataclass(frozen=True)
+class StationLoad:
+    """One M/M/c service station of the analytic model."""
+
+    name: str
+    servers: int
+    #: Occupancy-cycles one average instruction imposes.
+    demand: float
+
+    @property
+    def ipc_bound(self) -> float:
+        if self.demand <= 0.0:
+            return float("inf")
+        return RHO_MAX * self.servers / self.demand
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Analytic throughput of one (config, benchmark) pair."""
+
+    benchmark: str
+    stations: Tuple[StationLoad, ...]
+    #: Worst saturation term: front-end width, busiest station, window.
+    cpi_structural: float
+    cpi_branch: float
+    cpi_memory: float
+    cpi_dependency: float
+    balance_factor: float
+    estimated_ipc: float
+
+    @property
+    def bottleneck(self) -> str:
+        """The largest CPI component (stack decomposition winner)."""
+        components = (
+            (self.cpi_structural, "structural"),
+            (self.cpi_branch, "branch"),
+            (self.cpi_memory, "memory"),
+            (self.cpi_dependency, "dependency"),
+        )
+        return max(components)[1]
+
+
+def _mix(profile: WorkloadProfile) -> Dict[str, float]:
+    """Per-class instruction fractions (the residual is plain ALU)."""
+    p_fp = profile.frac_fp
+    other = (profile.frac_load + profile.frac_store + profile.frac_branch
+             + p_fp + profile.frac_imuldiv)
+    return {
+        "load": profile.frac_load,
+        "store": profile.frac_store,
+        "branch": profile.frac_branch,
+        "fp": p_fp,
+        "fpdiv": p_fp * profile.frac_fpdiv,
+        "imuldiv": profile.frac_imuldiv,
+        "alu": max(0.0, 1.0 - other),
+    }
+
+
+def _memory_cycles_per_load(profile: WorkloadProfile,
+                            config: MachineConfig) -> float:
+    """Expected hierarchy cycles one load adds beyond the L1 hit."""
+    memory = config.memory
+    ws = profile.ws_bytes
+    if ws <= memory.l1.size_bytes:
+        l1_miss = 0.01
+    elif ws <= memory.l2.size_bytes:
+        l1_miss = 0.05 + 0.10 * profile.frac_random_access
+    else:
+        l1_miss = 0.10 + 0.20 * profile.frac_random_access
+    l2_miss = 0.5 if ws > memory.l2.size_bytes else 0.05
+    cycles = l1_miss * (memory.l2.hit_latency
+                        + l2_miss * memory.l2.miss_penalty)
+    if profile.pointer_chase:
+        # Serial dependent misses cannot overlap; they cost roughly
+        # twice their nominal latency in window residency.
+        cycles *= 2.0
+    return cycles
+
+
+def _mispredict_rate(profile: WorkloadProfile) -> float:
+    """Per-branch misprediction estimate from the profile's bias."""
+    return max(0.01, 0.35 * (1.0 - profile.internal_branch_bias)
+               + 0.25 * profile.branch_bias_spread)
+
+
+def estimate_throughput(config: MachineConfig,
+                        benchmark: str) -> ThroughputEstimate:
+    """Analytic IPC of one configuration on one benchmark profile."""
+    profile = PROFILES[benchmark]
+    mix = _mix(profile)
+    n = config.num_clusters
+    cluster = config.cluster
+    latencies = config.latencies
+
+    muldiv_occupancy = (1.0 if config.pipelined_muldiv
+                        else float(latencies[OpClass.IMULDIV]))
+    alu_demand = (mix["alu"] + mix["branch"]
+                  + mix["imuldiv"] * muldiv_occupancy)
+    # Pipelined FPUs take one issue slot per op; divides serialise for
+    # (latency - 1) extra cycles.
+    fpu_demand = (mix["fp"]
+                  + mix["fpdiv"] * (latencies[OpClass.FPDIV] - 1.0))
+    stations = (
+        StationLoad("alu", n * cluster.num_alus, alu_demand),
+        StationLoad("lsu", n * cluster.num_lsus,
+                    mix["load"] + mix["store"]),
+        StationLoad("fpu", n * cluster.num_fpus, fpu_demand),
+        StationLoad("issue_queue", n * cluster.issue_width, 1.0),
+        StationLoad("l1_ports", config.memory.l1_ports,
+                    mix["load"] + mix["store"]),
+    )
+
+    headroom = ((config.int_physical_registers
+                 - config.int_logical_registers)
+                + (config.fp_physical_registers
+                   - config.fp_logical_registers))
+    window = min(config.rob_size, n * cluster.max_inflight, headroom)
+    residency = (BASE_RESIDENCY
+                 + mix["load"] * _memory_cycles_per_load(profile, config)
+                 + mix["fpdiv"] * latencies[OpClass.FPDIV])
+    cpi_structural = max(
+        1.0 / config.front_width,
+        1.0 / config.commit_width,
+        max(s.demand / (RHO_MAX * s.servers) for s in stations),
+        residency / max(1, window),
+    )
+
+    miss_rate = _mispredict_rate(profile)
+    cpi_branch = mix["branch"] * miss_rate * (
+        config.mispredict_penalty + RESOLVE_DEPTH)
+
+    memory_cycles = _memory_cycles_per_load(profile, config)
+    overlap = 1.0 if profile.pointer_chase else MEM_OVERLAP
+    cpi_memory = mix["load"] * memory_cycles * overlap
+
+    cpi_dependency = profile.dep_locality * DEP_STALL_CYCLES
+
+    balance = BALANCE_FACTORS.get(config.allocation_policy, 0.95)
+    if config.specialization != "none":
+        # Write specialization splits the free lists per subset; when a
+        # subset holds fewer registers than the architected count, the
+        # renamer stalls whenever the steered subset's free list runs
+        # dry and burns slots on deadlock-avoidance moves.  Degrade the
+        # estimate by the relative shortfall (halved: stalls overlap
+        # with other bounds) so small-subset cells rank below
+        # comfortably-sized ones, as simulation measures them.
+        int_subset = config.int_physical_registers // n
+        shortfall = max(0.0, (config.int_logical_registers + 1
+                              - int_subset) / int_subset)
+        balance /= 1.0 + 0.5 * shortfall
+    cpi = cpi_structural + cpi_branch + cpi_memory + cpi_dependency
+    return ThroughputEstimate(
+        benchmark=benchmark,
+        stations=stations,
+        cpi_structural=cpi_structural,
+        cpi_branch=cpi_branch,
+        cpi_memory=cpi_memory,
+        cpi_dependency=cpi_dependency,
+        balance_factor=balance,
+        estimated_ipc=max(1e-6, balance / cpi),
+    )
+
+
+def analytic_point(cell: LatticeCell,
+                   benchmarks: Sequence[str]) -> FrontierPoint:
+    """The cell's analytic (energy/instruction, delay) coordinates,
+    aggregated over the benchmark set by geometric-mean IPC."""
+    assert cell.config is not None
+    product = 1.0
+    for benchmark in benchmarks:
+        product *= estimate_throughput(cell.config, benchmark).estimated_ipc
+    geomean_ipc = product ** (1.0 / len(benchmarks))
+    delay = 1.0 / geomean_ipc
+    energy_cycle = config_cost(cell.config).energy_nj_per_cycle
+    return FrontierPoint(name=cell.name,
+                         energy_per_instruction=energy_cycle * delay,
+                         delay=delay)
+
+
+def prefilter_cells(cells: Sequence[LatticeCell],
+                    benchmarks: Sequence[str], budget: int,
+                    rank: str = "ed2p",
+                    ) -> Tuple[List[LatticeCell], List[Dict]]:
+    """Split valid cells into survivors and analytically pruned cells.
+
+    Returns ``(survivors, pruned_records)``.  Survivors are the
+    analytic Pareto frontier plus the best remaining cells by the
+    analytic ``rank`` metric, up to ``budget`` total (the frontier is
+    never cut, so survivors can exceed a too-small budget).  Both lists
+    are deterministic: ordered by (analytic rank value, cell name).
+    """
+    valid = [cell for cell in cells if cell.valid]
+    points = {cell.name: analytic_point(cell, benchmarks)
+              for cell in valid}
+    scored = sorted(valid, key=lambda cell: (
+        rank_value(points[cell.name], rank), cell.name))
+    frontier_names, _ = pareto(list(points.values()))
+    survivors = [cell for cell in scored if cell.name in frontier_names]
+    for cell in scored:
+        if len(survivors) >= budget:
+            break
+        if cell.name not in frontier_names:
+            survivors.append(cell)
+    survivors.sort(key=lambda cell: (rank_value(points[cell.name], rank),
+                                     cell.name))
+    kept = {cell.name for cell in survivors}
+    pruned = []
+    for cell in scored:
+        if cell.name in kept:
+            continue
+        point = points[cell.name]
+        pruned.append({
+            "cell": cell.name,
+            "estimated_ipc": round(1.0 / point.delay, 4),
+            "analytic_energy_per_instruction":
+                round(point.energy_per_instruction, 4),
+            f"analytic_{rank}": round(rank_value(point, rank), 4),
+        })
+    return survivors, pruned

@@ -1,12 +1,16 @@
 """Job model of the simulation service.
 
 A *job* is one client-submitted unit of work: a single simulation cell
-(``simulate``), a (benchmark x configuration) sweep (``matrix``), or an
+(``simulate``), a (benchmark x configuration) sweep (``matrix``), an
 observed run returning its CPI stack alongside the statistics
-(``stacks``).  Requests arrive as plain JSON; :func:`parse_request`
-validates them against the shipped benchmark profiles and section-5
-configurations and clamps the slice lengths, so admission control can
-reject malformed or abusive work before it ever reaches the pool.
+(``stacks``), or a design-space exploration returning the energy-delay
+Pareto frontier of a config lattice (``explore``,
+:mod:`repro.explore`).  Requests arrive as plain JSON;
+:func:`parse_request` validates them against the shipped benchmark
+profiles and section-5 configurations (for ``explore``: against the
+lattice-spec schema, with the survivor count planned at admission) and
+clamps the slice lengths, so admission control can reject malformed or
+abusive work before it ever reaches the pool.
 
 **Idempotency keys.**  Every request canonicalises to the same cell
 tuples the trace cache keys on - ``(profile, trace_length, seed,
@@ -39,7 +43,7 @@ from repro.trace.cache import trace_key
 from repro.trace.profiles import PROFILES
 
 #: Supported job kinds.
-KINDS = ("simulate", "matrix", "stacks")
+KINDS = ("simulate", "matrix", "stacks", "explore")
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -76,9 +80,20 @@ class JobRequest:
     seed: int
     observe: bool
     priority: int
+    #: ``explore`` only: the lattice spec as canonical JSON text (kept
+    #: as a string so the request stays hashable), the simulation
+    #: budget, the pre-filter switch and the rank metric.
+    lattice: Optional[str] = None
+    budget: int = 0
+    prefilter: bool = True
+    rank: str = "ed2p"
+    #: ``explore`` only: simulated cells, planned at admission.
+    planned_cells: int = 0
 
     @property
     def num_cells(self) -> int:
+        if self.kind == "explore":
+            return self.planned_cells
         return len(self.benchmarks) * len(self.configs)
 
 
@@ -115,6 +130,8 @@ def parse_request(payload: object) -> JobRequest:
     if kind not in KINDS:
         raise JobValidationError(
             f"unknown job kind {kind!r}; choose from {sorted(KINDS)}")
+    if kind == "explore":
+        return _parse_explore(payload)
 
     all_configs = [config.name for config in figure4_configs()]
     if kind == "simulate":
@@ -160,8 +177,80 @@ def parse_request(payload: object) -> JobRequest:
                       priority=priority)
 
 
+def _parse_explore(payload: Dict) -> JobRequest:
+    """Validate an ``explore`` job: lattice schema, budget, rank.
+
+    The survivor set is *planned* here (enumeration + pre-filter are
+    pure functions, no simulation), so an exploration whose simulated
+    cell count would exceed :data:`MAX_CELLS` is rejected at admission
+    like any other oversized sweep.
+    """
+    from repro.errors import ExperimentError
+    from repro.explore.explorer import (
+        DEFAULT_BUDGET,
+        DEFAULT_MEASURE,
+        DEFAULT_WARMUP,
+        plan,
+    )
+    from repro.explore.frontier import RANKS
+    from repro.explore.lattice import LatticeError, LatticeSpec
+
+    try:
+        spec = LatticeSpec.from_dict(payload.get("lattice"))
+    except LatticeError as exc:
+        raise JobValidationError(str(exc)) from None
+    budget = _require_int(payload, "budget", DEFAULT_BUDGET, 1, MAX_CELLS)
+    prefilter = payload.get("prefilter", True)
+    if not isinstance(prefilter, bool):
+        raise JobValidationError(
+            f"prefilter must be a JSON boolean, got {prefilter!r}")
+    rank = payload.get("rank", "ed2p")
+    if rank not in RANKS:
+        raise JobValidationError(
+            f"unknown rank metric {rank!r}; choose from {list(RANKS)}")
+    measure = _require_int(payload, "measure", DEFAULT_MEASURE,
+                           1, MAX_MEASURE)
+    warmup = _require_int(payload, "warmup", DEFAULT_WARMUP,
+                          0, MAX_WARMUP)
+    seed = _require_int(payload, "seed", 1, 0, 2 ** 31 - 1)
+    priority = _require_int(payload, "priority", DEFAULT_PRIORITY,
+                            MIN_PRIORITY, MAX_PRIORITY)
+    try:
+        _, survivors, _ = plan(spec, budget, prefilter, rank)
+    except ExperimentError as exc:
+        raise JobValidationError(str(exc)) from None
+    planned = len(survivors) * len(spec.benchmarks)
+    if planned > MAX_CELLS:
+        raise JobValidationError(
+            f"exploration expands to {planned} simulated cells "
+            f"({len(survivors)} survivors x {len(spec.benchmarks)} "
+            f"benchmarks); the per-job cap is {MAX_CELLS}")
+    lattice = json.dumps(spec.as_dict(), sort_keys=True,
+                         separators=(",", ":"))
+    return JobRequest(kind="explore", benchmarks=spec.benchmarks,
+                      configs=(), measure=measure, warmup=warmup,
+                      seed=seed, observe=False, priority=priority,
+                      lattice=lattice, budget=budget, prefilter=prefilter,
+                      rank=rank, planned_cells=planned)
+
+
+def _explore_spec(request: JobRequest):
+    from repro.explore.lattice import LatticeSpec
+
+    assert request.lattice is not None
+    return LatticeSpec.from_dict(json.loads(request.lattice))
+
+
 def cell_specs(request: JobRequest) -> List[RunSpec]:
-    """The request's cells as engine specs, row-major like a matrix."""
+    """The request's cells as engine specs, row-major like a matrix
+    (``explore``: the pre-filter's survivors, cell-major)."""
+    if request.kind == "explore":
+        from repro.explore.explorer import survivor_specs
+
+        return survivor_specs(_explore_spec(request), request.budget,
+                              request.prefilter, request.rank,
+                              request.measure, request.warmup,
+                              request.seed)
     return [
         RunSpec(config=config_by_name(name), benchmark=benchmark,
                 measure=request.measure, warmup=request.warmup,
@@ -189,7 +278,16 @@ def canonical_form(request: JobRequest) -> Dict:
             "warmup": spec.warmup,
             "observe": spec.observe,
         })
-    return {"kind": request.kind, "cells": cells}
+    form = {"kind": request.kind, "cells": cells}
+    if request.kind == "explore":
+        # The survivor cells alone don't pin down the exploration: the
+        # same survivors can come from different lattices/knobs, and
+        # the payload re-ranks from these inputs.
+        form["lattice"] = json.loads(request.lattice)
+        form["budget"] = request.budget
+        form["prefilter"] = request.prefilter
+        form["rank"] = request.rank
+    return form
 
 
 def job_key(request: JobRequest) -> str:
@@ -217,6 +315,13 @@ def cell_payload(result: RunResult) -> Dict:
 
 def job_payload(request: JobRequest, results: List[RunResult]) -> Dict:
     """The full result payload stored and served for a finished job."""
+    if request.kind == "explore":
+        from repro.explore.explorer import frontier_payload
+
+        return frontier_payload(_explore_spec(request), request.budget,
+                                request.prefilter, request.rank,
+                                request.measure, request.warmup,
+                                request.seed, results)
     cells = [cell_payload(result) for result in results]
     payload: Dict = {"kind": request.kind, "cells": cells}
     if request.kind == "matrix":

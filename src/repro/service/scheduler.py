@@ -344,6 +344,10 @@ class Scheduler:
                              error="cancelled mid-run")
                 return
             payload = jobmodel.job_payload(job.request, results)
+            if job.request.kind == "explore":
+                from repro.explore.explorer import count_explore
+
+                count_explore(self.registry, payload)
             if self.store is not None:
                 # put() is an atomic disk write; a worker thread keeps
                 # the event loop free while it lands.

@@ -19,6 +19,12 @@ docs rot against the code:
   against the current CLI: subcommand present, flags spelled right,
   choice values (configurations, benchmarks) still shipped.
 
+* **Undocumented subcommands** (tree-wide mode only): the inverse
+  direction - every subcommand :func:`repro.cli.build_parser` registers
+  must be *mentioned* somewhere in the default documentation set
+  (``wsrs <name>`` or ``repro <name>`` in prose or code), so a new CLI
+  entry point cannot ship invisible to users.
+
 Checks are purely static - nothing is executed, so the job is fast and
 deterministic.  Used by the CI ``docs`` job; run locally after editing
 docs or the CLI.
@@ -234,6 +240,45 @@ def _check_commands(path: Path, lines: Sequence[str],
     return findings
 
 
+def cli_subcommands() -> List[str]:
+    """Every subcommand name the real CLI parser registers."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    return []
+
+
+#: ``wsrs <sub>`` / ``python -m repro <sub>`` mention, prose or code.
+_MENTION_RE = re.compile(r"(?:\bwsrs\s+|\brepro\s+)([a-z][a-z0-9_-]*)")
+
+
+def check_cli_coverage(paths: Sequence[Path],
+                       root: Path) -> List[DocFinding]:
+    """Every CLI subcommand must be mentioned in the doc set.
+
+    Findings anchor on README.md (line 0): the defect is an *absence*,
+    so there is no specific line to blame.
+    """
+    mentioned = set()
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        mentioned.update(_MENTION_RE.findall(text))
+    findings = []
+    anchor = _rel(root / "README.md", root)
+    for name in cli_subcommands():
+        if name not in mentioned:
+            findings.append(DocFinding(
+                anchor, 0, "cli-coverage",
+                f"CLI subcommand {name!r} is not mentioned in README.md "
+                f"or docs/ (add a 'wsrs {name}' reference)"))
+    return findings
+
+
 def default_doc_targets(root: Path) -> List[Path]:
     """README plus everything under docs/ - the user-facing pages."""
     targets = []
@@ -254,5 +299,13 @@ def check_paths(paths: Sequence[Path], root: Path) -> List[DocFinding]:
 
 
 def check_tree(root: Path) -> List[DocFinding]:
-    """Check the default documentation set of a repository root."""
-    return check_paths(default_doc_targets(root), root)
+    """Check the default documentation set of a repository root.
+
+    Adds the tree-wide CLI-coverage check on top of the per-file
+    link/anchor/command checks - coverage is a property of the whole
+    doc set, so it does not run for explicit path lists.
+    """
+    targets = default_doc_targets(root)
+    findings = check_paths(targets, root)
+    findings.extend(check_cli_coverage(targets, root))
+    return findings

@@ -4,8 +4,10 @@ from pathlib import Path
 
 from repro.cli import main
 from repro.verify.docscheck import (
+    check_cli_coverage,
     check_paths,
     check_tree,
+    cli_subcommands,
     github_slug,
     heading_anchors,
 )
@@ -94,6 +96,30 @@ class TestCommands:
     def test_non_wsrs_shell_lines_skipped(self, tmp_path):
         text = "```bash\npip list\npython -m pytest\n```\n"
         assert _check(tmp_path, text) == []
+
+
+class TestCliCoverage:
+    def test_subcommand_inventory_comes_from_the_parser(self):
+        names = cli_subcommands()
+        assert "simulate" in names and "explore" in names
+        assert names == sorted(names)
+
+    def test_unmentioned_subcommands_are_flagged(self, tmp_path):
+        page = tmp_path / "README.md"
+        page.write_text("Only `wsrs simulate` is documented here.\n")
+        findings = check_cli_coverage([page], tmp_path)
+        missing = {f.message.split("'")[1] for f in findings}
+        assert "simulate" not in missing
+        assert "explore" in missing and "profiles" in missing
+        assert all(f.kind == "cli-coverage" for f in findings)
+
+    def test_prose_and_module_form_mentions_count(self, tmp_path):
+        page = tmp_path / "README.md"
+        mentions = [f"wsrs {name}" for name in cli_subcommands()[::2]]
+        mentions += [f"python -m repro {name}"
+                     for name in cli_subcommands()[1::2]]
+        page.write_text("\n".join(mentions) + "\n")
+        assert check_cli_coverage([page], tmp_path) == []
 
 
 class TestRepositoryDocs:
