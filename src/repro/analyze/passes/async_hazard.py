@@ -1,16 +1,22 @@
-"""ASYNC-HAZARD: concurrency lint for the simulation job service.
+"""ASYNC-HAZARD: concurrency lint for the service and fleet stacks.
 
-The service (:mod:`repro.service`) runs an asyncio event loop whose
-worker tasks hand simulation work to a process/thread executor and
-mirror results into a disk-backed store.  Three hazard classes recur in
-that shape, and each one has bitten real asyncio services:
+The service (:mod:`repro.service`) and the fleet coordinator
+(:mod:`repro.fleet`) run asyncio event loops whose tasks hand
+simulation work to a process/thread executor, talk HTTP to worker
+nodes, and mirror results into a disk-backed store.  Three hazard
+classes recur in that shape, and each one has bitten real asyncio
+services:
 
 ``ASYNC-BLOCKING-CALL``
     A blocking call inside an ``async def`` body: ``time.sleep``, sync
     file I/O (``open``, ``Path.read_text``/``write_text``, ``json.dump``
     / ``json.load`` against a file, ``os``/``shutil`` filesystem calls),
-    ``subprocess`` invocations, or a call into the disk-backed result
-    store (``store.put``/``get``/``keys``/``evict_expired``/``stats``).
+    ``subprocess`` invocations, synchronous HTTP
+    (``http.client.HTTPConnection``/``HTTPSConnection``,
+    ``urllib.request.urlopen`` - the coordinator's heartbeat and
+    forwarding paths must use the async :mod:`repro.fleet.netio`
+    client), or a call into the disk-backed result store
+    (``store.put``/``get``/``keys``/``evict_expired``/``stats``).
     Any of these stalls the entire event loop - every other request,
     heartbeat and timeout in the process waits behind it.  Route the
     call through ``loop.run_in_executor(...)`` instead.
@@ -73,6 +79,13 @@ _BLOCKING_METHODS = {
 #: filesystem); flagged when the receiver chain mentions a store.
 _STORE_METHODS = {"put", "get", "keys", "evict_expired", "stats"}
 
+#: Synchronous HTTP entry points: constructing an ``http.client``
+#: connection or calling ``urllib.request.urlopen`` blocks the thread
+#: on the socket for the whole exchange.  Matched both as attribute
+#: calls (``http.client.HTTPConnection(...)``) and as bare names
+#: (``from http.client import HTTPConnection``).
+_SYNC_HTTP_CALLS = {"HTTPConnection", "HTTPSConnection", "urlopen"}
+
 #: Call shapes that register a function to run off the event loop:
 #: (callable attribute name, positional index of the callback).
 _CALLBACK_REGISTRARS = {
@@ -98,6 +111,9 @@ def _blocking_reason(call: ast.Call) -> Optional[str]:
     if isinstance(func, ast.Name):
         if func.id == "open":
             return "open() is synchronous file I/O"
+        if func.id in _SYNC_HTTP_CALLS:
+            return (f"{func.id}() is synchronous HTTP; use the async "
+                    f"netio client")
         return None
     if not isinstance(func, ast.Attribute):
         return None
@@ -105,6 +121,12 @@ def _blocking_reason(call: ast.Call) -> Optional[str]:
         key = (func.value.id, func.attr)
         if key in _BLOCKING_MODULE_CALLS:
             return f"{func.value.id}.{func.attr}() blocks the thread"
+    if func.attr in _SYNC_HTTP_CALLS:
+        receiver = _receiver_names(func.value)
+        if any(name in ("http", "client", "urllib", "request")
+               for name in receiver):
+            return (f".{func.attr}() is synchronous HTTP; use the "
+                    f"async netio client")
     if func.attr in _BLOCKING_METHODS:
         return f".{func.attr}() is synchronous file I/O"
     if func.attr in _STORE_METHODS:
@@ -294,13 +316,15 @@ def check_file(path: Path, display_path: str) -> List[Finding]:
 
 
 @analysis_pass(PASS_NAME,
-               "asyncio concurrency hazards in the job service",
+               "asyncio concurrency hazards in the service and fleet",
                rules=RULES)
 def run_async_hazard(context: AnalysisContext) -> List[Finding]:
     targets: Sequence[Path] = context.python_targets()
     if not targets:
-        service = context.root / "src" / "repro" / "service"
-        targets = [service] if service.is_dir() else []
+        targets = [directory for directory in (
+            context.root / "src" / "repro" / "service",
+            context.root / "src" / "repro" / "fleet",
+        ) if directory.is_dir()]
     findings: List[Finding] = []
     for entry in targets:
         entry = Path(entry)

@@ -23,7 +23,10 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     wsrs serve                     # run the simulation job service (HTTP)
     wsrs submit gzip --wait        # submit one job to a running service
     wsrs loadtest                  # drive N clients -> BENCH_service.json
+    wsrs loadtest --fleet          # fleet scaling bench -> BENCH_fleet.json
     wsrs explore                   # design-space explorer -> BENCH_explore.json
+    wsrs fleet serve-coordinator   # shard jobs over registered workers
+    wsrs fleet serve-worker --port 8801   # one self-registering node
 
 ``wsrs simulate --sanitize`` (or ``WSRS_SANITIZE=1`` for any command)
 runs the cycle-level pipeline sanitizer of :mod:`repro.verify.sanitizer`
@@ -381,7 +384,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print("error: a benchmark is required unless --kind explore",
               file=sys.stderr)
         return 2
-    client = ServiceClient(args.url, client_id=args.client)
+    url = args.url
+    if url is None:
+        from repro.fleet.server import DEFAULT_COORDINATOR_PORT
+
+        url = (f"http://127.0.0.1:{DEFAULT_COORDINATOR_PORT}"
+               if args.fleet else "http://127.0.0.1:8787")
+    client = ServiceClient(url, client_id=args.client)
     request = {"kind": args.kind, "benchmarks": [args.benchmark],
                "configs": [args.config], "measure": args.measure,
                "warmup": args.warmup, "seed": args.seed,
@@ -431,17 +440,80 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.fleet:
+        from repro.fleet import bench
+
+        if args.url is not None:
+            print("error: --fleet spins up its own local fleet; --url "
+                  "is incompatible", file=sys.stderr)
+            return 2
+        record = bench.run_fleet(
+            workers=args.workers or 3, clients=args.clients,
+            benchmarks=tuple(args.benchmarks) if args.benchmarks
+            else bench.DEFAULT_BENCHMARKS,
+            configs=(args.config,) if args.config
+            else bench.DEFAULT_CONFIGS,
+            measure=args.measure if args.measure is not None else 500,
+            warmup=args.warmup if args.warmup is not None else 250,
+            seed=args.seed, out=args.out or "BENCH_fleet.json",
+            kill_test=not args.no_kill,
+            cell_delay_ms=args.cell_delay_ms
+            if args.cell_delay_ms is not None
+            else bench.DEFAULT_CELL_DELAY_MS,
+            history=args.history)
+        if args.min_speedup is not None \
+                and record["speedup"] < args.min_speedup:
+            print(f"fleet speedup {record['speedup']}x below the "
+                  f"{args.min_speedup}x floor", file=sys.stderr)
+            return 1
+        kill_ok = (record["kill"] is None
+                   or record["kill"]["completed"] == record["kill"]["jobs"])
+        return 0 if record["identical"] and kill_ok else 1
+
     from repro.service.loadtest import run
 
     record = run(url=args.url, clients=args.clients,
                  benchmarks=args.benchmarks or ["gzip", "mcf"],
                  configs=[args.config] if args.config else
                  ["RR 256", "WSRS RC S 512"],
-                 measure=args.measure, warmup=args.warmup,
-                 seed=args.seed, passes=args.passes, out=args.out,
+                 measure=args.measure if args.measure is not None
+                 else 4_000,
+                 warmup=args.warmup if args.warmup is not None
+                 else 2_000,
+                 seed=args.seed, passes=args.passes,
+                 out=args.out or "BENCH_service.json",
                  server_workers=args.workers or 2,
                  direct_workers=args.workers)
     return 0 if record["identical"] and not record["degraded"] else 1
+
+
+def _cmd_fleet_coordinator(args: argparse.Namespace) -> int:
+    from repro.fleet.server import build_coordinator, serve_coordinator
+
+    coordinator = build_coordinator(
+        workers=args.worker or None, backlog=args.backlog,
+        quota=args.quota, job_timeout=args.job_timeout,
+        retry_budget=args.retry_budget,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+        spill_threshold=args.spill_threshold,
+        drain_timeout=args.drain_timeout,
+        store_dir=args.store, ttl_seconds=args.ttl)
+    return serve_coordinator(host=args.host, port=args.port,
+                             coordinator=coordinator)
+
+
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.worker import serve_worker
+
+    return serve_worker(host=args.host, port=args.port,
+                        coordinator_url=args.coordinator,
+                        workers=args.workers or 2, backlog=args.backlog,
+                        job_timeout=args.job_timeout,
+                        retry_budget=args.retry_budget,
+                        drain_timeout=args.drain_timeout,
+                        store_dir=args.store, ttl_seconds=args.ttl,
+                        cell_delay_ms=args.cell_delay_ms)
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -752,7 +824,14 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=[c.name for c in figure4_configs()])
     pj.add_argument("--kind", default="simulate",
                     choices=["simulate", "matrix", "stacks", "explore"])
-    pj.add_argument("--url", default="http://127.0.0.1:8787")
+    pj.add_argument("--url", default=None,
+                    help="service or coordinator URL (default: "
+                         "http://127.0.0.1:8787, or the coordinator "
+                         "port 8788 with --fleet)")
+    pj.add_argument("--fleet", action="store_true",
+                    help="target the fleet coordinator's default port "
+                         "instead of a single-node service (the "
+                         "coordinator speaks the same /v1/jobs protocol)")
     pj.add_argument("--client", default="cli",
                     help="client id used for quota accounting")
     pj.add_argument("--measure", type=int, default=20_000)
@@ -782,23 +861,56 @@ def build_parser() -> argparse.ArgumentParser:
     py = sub.add_parser(
         "loadtest",
         help="drive N concurrent clients against the service, verify "
-             "bit-identical results, write BENCH_service.json")
+             "bit-identical results, write BENCH_service.json "
+             "(--fleet: scaling bench over local multi-node fleets, "
+             "write BENCH_fleet.json)")
     py.add_argument("--url", default=None,
-                    help="existing service (default: embedded server)")
+                    help="existing service (default: embedded server; "
+                         "incompatible with --fleet)")
+    py.add_argument("--fleet", action="store_true",
+                    help="fleet mode: run the job matrix against local "
+                         "fleets of 1..N worker processes, verify "
+                         "bit-identical cells, restart the coordinator "
+                         "to measure routing-cache affinity, and SIGTERM "
+                         "one worker mid-run to prove node-loss requeue")
     py.add_argument("--clients", type=int, default=4)
     py.add_argument("--benchmarks", nargs="*", default=None,
                     metavar="NAME")
     py.add_argument("--config", default=None,
                     choices=[c.name for c in figure4_configs()],
                     help="restrict to one configuration")
-    py.add_argument("--measure", type=int, default=4_000)
-    py.add_argument("--warmup", type=int, default=2_000)
+    py.add_argument("--measure", type=int, default=None,
+                    help="measured slice per cell (default: 4000, or "
+                         "500 with --fleet)")
+    py.add_argument("--warmup", type=int, default=None,
+                    help="warm-up instructions per cell (default: 2000, "
+                         "or 250 with --fleet)")
     py.add_argument("--seed", type=int, default=1)
     py.add_argument("--passes", type=int, default=2,
-                    help=">= 2 exercises the result-store fast path")
+                    help=">= 2 exercises the result-store fast path "
+                         "(ignored with --fleet)")
     py.add_argument("--workers", type=_worker_count, default=None,
-                    metavar="N", help="embedded-server pool size")
-    py.add_argument("--out", default="BENCH_service.json")
+                    metavar="N",
+                    help="embedded-server pool size; with --fleet, the "
+                         "largest fleet's node count (default: 3)")
+    py.add_argument("--out", default=None,
+                    help="record path (default: BENCH_service.json, or "
+                         "BENCH_fleet.json with --fleet)")
+    py.add_argument("--no-kill", action="store_true",
+                    help="skip the fleet kill test (--fleet only)")
+    py.add_argument("--cell-delay-ms", type=float, default=None,
+                    metavar="MS",
+                    help="per-cell service-time floor in fleet mode "
+                         "(default: 800; 0 measures raw compute scaling "
+                         "- needs at least as many cores as nodes)")
+    py.add_argument("--min-speedup", type=float, default=None,
+                    metavar="X",
+                    help="exit non-zero unless the largest fleet's "
+                         "throughput is at least X times the 1-worker "
+                         "baseline (--fleet only; the CI gate)")
+    py.add_argument("--history", default=None, metavar="PATH",
+                    help="append a kind:fleet line to this perf-history "
+                         "JSONL (--fleet only)")
     py.set_defaults(func=_cmd_loadtest)
 
     pq = sub.add_parser(
@@ -837,6 +949,90 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--out", default="BENCH_explore.json",
                     help="payload destination")
     pq.set_defaults(func=_cmd_explore)
+
+    pf = sub.add_parser(
+        "fleet",
+        help="multi-node simulation fleet: a sharding coordinator plus "
+             "self-registering worker nodes")
+    fleet_sub = pf.add_subparsers(dest="fleet_command", required=True)
+
+    pfc = fleet_sub.add_parser(
+        "serve-coordinator",
+        help="run the fleet coordinator: client-facing /v1/jobs front "
+             "door that consistent-hash shards jobs over registered "
+             "workers, heartbeats them, and requeues on node loss")
+    pfc.add_argument("--host", default="127.0.0.1")
+    pfc.add_argument("--port", type=int, default=8788,
+                     help="listen port (0 = OS-assigned, printed on "
+                          "start)")
+    pfc.add_argument("--worker", action="append", default=None,
+                     metavar="URL",
+                     help="static worker listing (repeatable); workers "
+                          "can also self-register via POST "
+                          "/v1/fleet/register")
+    pfc.add_argument("--backlog", type=int, default=256,
+                     help="queued jobs admitted before load shedding")
+    pfc.add_argument("--quota", type=int, default=32,
+                     help="active jobs allowed per client id")
+    pfc.add_argument("--job-timeout", type=float, default=600.0,
+                     metavar="SECONDS",
+                     help="per-job wall-clock budget across retries")
+    pfc.add_argument("--retry-budget", type=int, default=2,
+                     help="requeues after node losses before failing")
+    pfc.add_argument("--heartbeat-interval", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="how often every worker's /healthz is probed")
+    pfc.add_argument("--heartbeat-misses", type=int, default=3,
+                     help="consecutive missed heartbeats before a node "
+                          "is declared dead and leaves the ring")
+    pfc.add_argument("--spill-threshold", type=int, default=4,
+                     help="outstanding-job imbalance at which a job "
+                          "spills from its primary owner to the "
+                          "secondary")
+    pfc.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="shutdown grace for in-flight jobs")
+    pfc.add_argument("--store", default=None, metavar="DIR",
+                     help="authoritative result-store directory "
+                          "(replayed on coordinator restart)")
+    pfc.add_argument("--ttl", type=float, default=86_400.0,
+                     metavar="SECONDS", help="result-store time-to-live")
+    pfc.set_defaults(func=_cmd_fleet_coordinator)
+
+    pfw = fleet_sub.add_parser(
+        "serve-worker",
+        help="run one worker node: the full single-host service stack "
+             "on a fixed port, self-registered with the coordinator")
+    pfw.add_argument("--host", default="127.0.0.1")
+    pfw.add_argument("--port", type=int, required=True,
+                     help="listen port (explicit: the coordinator needs "
+                          "a stable address to route and probe)")
+    pfw.add_argument("--coordinator", default="http://127.0.0.1:8788",
+                     metavar="URL",
+                     help="coordinator to register with")
+    pfw.add_argument("--workers", type=_worker_count, default=None,
+                     metavar="N",
+                     help="simulation worker processes (default: 2)")
+    pfw.add_argument("--backlog", type=int, default=64,
+                     help="queued jobs admitted before load shedding")
+    pfw.add_argument("--job-timeout", type=float, default=600.0,
+                     metavar="SECONDS", help="per-job wall-clock budget")
+    pfw.add_argument("--retry-budget", type=int, default=2,
+                     help="requeues after pool-worker crashes before "
+                          "failing")
+    pfw.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="shutdown grace for in-flight jobs")
+    pfw.add_argument("--store", default=None, metavar="DIR",
+                     help="worker-local result-store directory (the "
+                          "routing-affinity cache)")
+    pfw.add_argument("--ttl", type=float, default=86_400.0,
+                     metavar="SECONDS", help="result-store time-to-live")
+    pfw.add_argument("--cell-delay-ms", type=float, default=0.0,
+                     metavar="MS",
+                     help="per-cell service-time floor (the scaling "
+                          "bench's queuing-station model; 0 = off)")
+    pfw.set_defaults(func=_cmd_fleet_worker)
 
     pt = sub.add_parser("savetrace", help="freeze a workload to a file")
     pt.add_argument("benchmark", choices=sorted(PROFILES))

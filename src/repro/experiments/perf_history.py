@@ -56,6 +56,7 @@ def history_record(record: Dict, sha: Optional[str] = None,
     """Compress a ``BENCH_core.json`` record into one history line."""
     return {
         "schema": SCHEMA,
+        "kind": "profile",
         "sha": sha if sha is not None else git_revision(),
         "date": date if date is not None
         else time.strftime("%Y-%m-%d"),
@@ -82,6 +83,47 @@ def append_record(record: Dict, path: str = DEFAULT_HISTORY,
     return line
 
 
+def fleet_history_record(record: Dict, sha: Optional[str] = None,
+                         date: Optional[str] = None) -> Dict:
+    """Compress a ``BENCH_fleet.json`` record into one history line.
+
+    Fleet lines carry ``kind: "fleet"`` so :func:`last_comparable` -
+    which gates single-process profile runs - never mistakes a scaling
+    record for a profile baseline.
+    """
+    return {
+        "schema": SCHEMA,
+        "kind": "fleet",
+        "sha": sha if sha is not None else git_revision(),
+        "date": date if date is not None
+        else time.strftime("%Y-%m-%d"),
+        "benchmark": record["benchmark"],
+        "measure": record["measure"],
+        "warmup": record["warmup"],
+        "identical": record["identical"],
+        "speedup": record["speedup"],
+        "scaling": {
+            str(point["workers"]): {
+                "throughput_jobs_per_s": point["compute"]
+                ["throughput_jobs_per_s"],
+                "p95_ms": point["compute"]["latency_ms"]["p95"],
+            }
+            for point in record["scaling"]
+        },
+    }
+
+
+def append_fleet_record(record: Dict, path: str = DEFAULT_HISTORY,
+                        sha: Optional[str] = None,
+                        date: Optional[str] = None) -> Dict:
+    """Append one fleet scaling line to the history; returns it."""
+    line = fleet_history_record(record, sha=sha, date=date)
+    with open(path, "a") as handle:
+        json.dump(line, handle, sort_keys=True)
+        handle.write("\n")
+    return line
+
+
 def load_history(path: str = DEFAULT_HISTORY) -> List[Dict]:
     """Every history line, oldest first (empty when the file is absent)."""
     try:
@@ -95,7 +137,8 @@ def load_history(path: str = DEFAULT_HISTORY) -> List[Dict]:
 def last_comparable(history: List[Dict], record: Dict) -> Optional[Dict]:
     """The newest history line measured under the same conditions."""
     for line in reversed(history):
-        if (line.get("benchmark") == record["benchmark"]
+        if (line.get("kind", "profile") == "profile"
+                and line.get("benchmark") == record["benchmark"]
                 and line.get("measure") == record["measure"]
                 and line.get("warmup") == record["warmup"]
                 and line.get("quick") == record["quick"]):

@@ -1,0 +1,220 @@
+"""Local fleet harness: coordinator + N worker *processes* on one host.
+
+`wsrs loadtest --fleet`, the fleet-smoke CI job and the failure-mode
+tests all need a real multi-process fleet - real sockets, real
+heartbeats, real node deaths - without any deployment machinery.  This
+module provides it:
+
+* the coordinator runs in-process on a daemon thread
+  (:class:`repro.fleet.server.EmbeddedCoordinator`), so tests can reach
+  into its state and metrics directly;
+* each worker is a separate **spawn**-context process running
+  :func:`repro.fleet.worker.worker_main` (spawn, not fork: the parent
+  holds live asyncio threads, and forking a threaded process is exactly
+  the hazard the repo's async lint exists to catch), with its own store
+  directory and a fixed, pre-picked port;
+* workers self-register over HTTP, and :meth:`LocalFleet.start` blocks
+  until the coordinator reports every node alive;
+* :meth:`LocalFleet.kill_worker` SIGTERMs a worker - the graceful-drain
+  path that, by design, does *not* deregister (see
+  :mod:`repro.fleet.worker`), so the coordinator discovers the loss the
+  same way it would a crash: cancelled-without-consent records and
+  failed heartbeats.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import socket
+import tempfile
+import time
+from typing import Callable, List, Optional
+
+from repro.fleet.server import EmbeddedCoordinator, build_coordinator
+from repro.fleet.worker import worker_main
+
+
+def _free_port(host: str = "127.0.0.1") -> int:
+    """An OS-picked free TCP port (small bind race, fine on localhost)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _get_json(url: str, path: str, timeout: float = 5.0) -> Optional[dict]:
+    from urllib.parse import urlsplit
+
+    split = urlsplit(url)
+    connection = http.client.HTTPConnection(
+        split.hostname or "127.0.0.1", split.port or 80, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        raw = response.read()
+        if response.status != 200:
+            return None
+        return json.loads(raw.decode("utf-8"))
+    except (ConnectionError, OSError, ValueError,
+            http.client.HTTPException):
+        return None
+    finally:
+        connection.close()
+
+
+class LocalFleet:
+    """Context manager owning one coordinator and N worker processes."""
+
+    def __init__(self, workers: int = 2, server_workers: int = 1,
+                 host: str = "127.0.0.1",
+                 heartbeat_interval: float = 0.25,
+                 heartbeat_misses: int = 3,
+                 retry_budget: int = 2,
+                 spill_threshold: int = 4,
+                 poll_interval: float = 0.05,
+                 job_timeout: float = 600.0,
+                 worker_drain_timeout: float = 10.0,
+                 cell_delay_ms: float = 0.0,
+                 announce: Callable[[str], None] = print) -> None:
+        if workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.worker_count = workers
+        self.server_workers = server_workers
+        self.host = host
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.retry_budget = retry_budget
+        self.spill_threshold = spill_threshold
+        self.poll_interval = poll_interval
+        self.job_timeout = job_timeout
+        self.worker_drain_timeout = worker_drain_timeout
+        self.cell_delay_ms = cell_delay_ms
+        self.announce = announce
+        self.url: Optional[str] = None
+        self.worker_urls: List[str] = []
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._embedded: Optional[EmbeddedCoordinator] = None
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._ports: List[int] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, timeout: float = 120.0) -> str:
+        """Boot coordinator + workers; returns the coordinator URL."""
+        self._tmp = tempfile.TemporaryDirectory(prefix="wsrs-fleet-")
+        coordinator = build_coordinator(
+            store_dir=f"{self._tmp.name}/coordinator",
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_misses=self.heartbeat_misses,
+            retry_budget=self.retry_budget,
+            spill_threshold=self.spill_threshold,
+            poll_interval=self.poll_interval,
+            job_timeout=self.job_timeout)
+        self._embedded = EmbeddedCoordinator(coordinator, host=self.host)
+        self.url = self._embedded.start()
+        context = multiprocessing.get_context("spawn")
+        self._ports = [_free_port(self.host)
+                       for _ in range(self.worker_count)]
+        self.worker_urls = [f"http://{self.host}:{port}"
+                            for port in self._ports]
+        for index, port in enumerate(self._ports):
+            process = context.Process(
+                target=worker_main,
+                args=(self.host, port, self.url, self.server_workers,
+                      f"{self._tmp.name}/worker-{index}",
+                      self.worker_drain_timeout, self.cell_delay_ms),
+                name=f"wsrs-fleet-worker-{index}", daemon=False)
+            process.start()
+            self._processes.append(process)
+        self._await_alive(self.worker_count, timeout)
+        self.announce(f"fleet: coordinator at {self.url}, "
+                      f"{self.worker_count} worker(s) alive")
+        return self.url
+
+    def _await_alive(self, count: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            summary = _get_json(self.url, "/v1/fleet")
+            if summary is not None and summary.get("alive", 0) >= count:
+                return
+            time.sleep(0.1)
+        raise RuntimeError(
+            f"fleet did not reach {count} alive worker(s) within "
+            f"{timeout:.0f}s")
+
+    def kill_worker(self, index: int = 0) -> str:
+        """SIGTERM one worker (drain, no deregistration); returns its
+        URL so callers can assert on the requeue path."""
+        process = self._processes[index]
+        if process.is_alive():
+            process.terminate()
+            process.join(self.worker_drain_timeout + 10.0)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        self.announce(f"fleet: killed worker {index} "
+                      f"({self.worker_urls[index]})")
+        return self.worker_urls[index]
+
+    def restart_coordinator(self, fresh_store: bool = False) -> str:
+        """Stop and re-create the coordinator against the same workers.
+
+        ``fresh_store=False`` models a restart that *replays* the
+        authoritative store; ``fresh_store=True`` wipes coordinator
+        state so repeat submissions must be answered by worker-local
+        caches via ring affinity (the routing-cache benchmark).
+        """
+        assert self._tmp is not None
+        if self._embedded is not None:
+            self._embedded.stop()
+        store_dir = (f"{self._tmp.name}/coordinator-fresh-"
+                     f"{time.monotonic_ns()}"
+                     if fresh_store else f"{self._tmp.name}/coordinator")
+        live = [url for url, process
+                in zip(self.worker_urls, self._processes)
+                if process.is_alive()]
+        coordinator = build_coordinator(
+            workers=live, store_dir=store_dir,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_misses=self.heartbeat_misses,
+            retry_budget=self.retry_budget,
+            spill_threshold=self.spill_threshold,
+            poll_interval=self.poll_interval,
+            job_timeout=self.job_timeout)
+        self._embedded = EmbeddedCoordinator(coordinator, host=self.host)
+        self.url = self._embedded.start()
+        self._await_alive(len(live), 30.0)
+        self.announce(f"fleet: coordinator restarted at {self.url} "
+                      f"({'fresh' if fresh_store else 'replayed'} store)")
+        return self.url
+
+    @property
+    def coordinator(self):
+        """The live coordinator object (tests reach into its state)."""
+        assert self._embedded is not None
+        return self._embedded.coordinator
+
+    def stop(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(self.worker_drain_timeout + 10.0)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        self._processes = []
+        if self._embedded is not None:
+            self._embedded.stop()
+            self._embedded = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "LocalFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()

@@ -1,0 +1,120 @@
+"""Consistent-hash ring: idempotency keys -> worker nodes.
+
+The fleet routes every job by its idempotency key
+(:func:`repro.service.jobs.job_key`), so the routing function must be
+*stable under membership change*: when a node joins or leaves, only the
+keys whose ownership genuinely changes may move - every other key keeps
+hitting the node that already holds its cached result.  A consistent-
+hash ring is the classic structure with exactly that property: each
+node is hashed onto a circle at ``vnodes`` pseudo-random points, a key
+is owned by the first node point clockwise from the key's own hash, and
+adding/removing a node only reassigns the arcs adjacent to that node's
+points (an expected ``K/N`` fraction of the keyspace).
+
+``vnodes`` (virtual nodes per physical node) trades ring size for
+balance: with one point per node the arc lengths - and therefore the
+load - have huge variance; with 64 points per node the per-node share
+concentrates near ``1/N``.  Hashing is SHA-256 (stable across processes
+and Python versions - ``hash()`` is salted and useless here), truncated
+to 64 bits.
+
+:meth:`HashRing.owners` returns the first ``n`` *distinct* nodes
+clockwise from the key - the replica/spill set: the primary owner
+first, then the node that would inherit the key if the primary left,
+which is what makes "spill to the secondary when the primary is
+overloaded" consistent with "requeue to the next owner when the
+primary dies".
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default virtual-node count per physical node.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (SHA-256 truncation)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over string node ids."""
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted (point, node) pairs - the ring itself.
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Insert ``node`` at its ``vnodes`` ring points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes[node] = True
+        for replica in range(self.vnodes):
+            point = stable_hash(f"{node}#{replica}")
+            bisect.insort(self._points, (point, node))
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` from the ring (idempotent)."""
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        self._points = [(point, owner) for point, owner in self._points
+                        if owner != node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    # -- routing ---------------------------------------------------------
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The key's owner: first node point clockwise from hash(key)."""
+        owners = self.owners(key, 1)
+        return owners[0] if owners else None
+
+    def owners(self, key: str, n: int,
+               exclude: Sequence[str] = ()) -> List[str]:
+        """The first ``n`` distinct nodes clockwise from ``key``.
+
+        ``exclude`` drops nodes from consideration (a dead primary during
+        requeue) without mutating the ring.
+        """
+        points = self._points
+        if not points or n < 1:
+            return []
+        excluded = set(exclude)
+        start = bisect.bisect_right(points, (stable_hash(key),
+                                             "￿"))
+        owners: List[str] = []
+        for index in range(len(points)):
+            _, node = points[(start + index) % len(points)]
+            if node in excluded or node in owners:
+                continue
+            owners.append(node)
+            if len(owners) == n:
+                break
+        return owners
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, Optional[str]]:
+        """key -> owner for a batch of keys (rebalance-test helper)."""
+        return {key: self.node_for(key) for key in keys}

@@ -444,29 +444,21 @@ def _histogram_quantile(bins: Dict[int, int], q: float) -> int:
     return value
 
 
-def prometheus_text(scheduler: Scheduler) -> str:
-    """Render the scheduler's registry + live gauges as Prometheus text.
+def render_prometheus(registry: ObsRegistry,
+                      gauges: Dict[str, float]) -> str:
+    """Render an ObsRegistry + live gauges as Prometheus text.
 
     Counters become ``wsrs_<name>`` counters; histograms become
     quantile-labelled gauges with ``_count``/``_sum`` companions - the
-    conventional scrape shape for precomputed summaries.
+    conventional scrape shape for precomputed summaries.  Shared by the
+    single-node scheduler and the fleet coordinator, whose ``fleet_*``
+    counter names render as ``wsrs_fleet_*``.
     """
     lines: List[str] = []
-    registry = scheduler.registry
     for name in sorted(registry.counters):
         metric = f"wsrs_{name}"
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {registry.counters[name]}")
-    gauges = {
-        "wsrs_queue_depth": scheduler.queued,
-        "wsrs_jobs_running": scheduler.running,
-        "wsrs_accepting": int(scheduler.accepting),
-        "wsrs_uptime_seconds": round(time.time() - scheduler.started_at, 3),
-    }
-    if scheduler.store is not None:
-        gauges["wsrs_result_store_entries"] = len(scheduler.store)
-        gauges["wsrs_result_store_evictions_total"] = \
-            scheduler.store.evictions
     for metric in sorted(gauges):
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {gauges[metric]}")
@@ -482,3 +474,23 @@ def prometheus_text(scheduler: Scheduler) -> str:
                     for value, weight in histogram.bins.items())
         lines.append(f"{metric}_sum {total}")
     return "\n".join(lines) + "\n"
+
+
+def store_gauges(store: Optional[ResultStore]) -> Dict[str, float]:
+    """The result-store gauges shared by scheduler and coordinator."""
+    if store is None:
+        return {}
+    return {"wsrs_result_store_entries": len(store),
+            "wsrs_result_store_evictions_total": store.evictions}
+
+
+def prometheus_text(scheduler: Scheduler) -> str:
+    """The single-node scheduler's ``/metrics`` body."""
+    gauges: Dict[str, float] = {
+        "wsrs_queue_depth": scheduler.queued,
+        "wsrs_jobs_running": scheduler.running,
+        "wsrs_accepting": int(scheduler.accepting),
+        "wsrs_uptime_seconds": round(time.time() - scheduler.started_at, 3),
+    }
+    gauges.update(store_gauges(scheduler.store))
+    return render_prometheus(scheduler.registry, gauges)

@@ -61,6 +61,48 @@ _STATUS_REASONS = {
 }
 
 
+class _BadRequest(Exception):
+    """An HTTP request that could not be parsed at all."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request into (method, target, headers, body).
+
+    Shared by the service server and the fleet coordinator server (which
+    routes asynchronously).  Raises :class:`_BadRequest` on malformed or
+    oversized input.
+    """
+    try:
+        request_line = await asyncio.wait_for(reader.readline(),
+                                              timeout=10.0)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadRequest(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+    except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+            UnicodeDecodeError, ValueError):
+        raise _BadRequest(400, "malformed request") from None
+    return method.upper(), target, headers, body
+
+
 class ServiceServer:
     """One listening socket routing requests into a :class:`Scheduler`."""
 
@@ -111,28 +153,10 @@ class ServiceServer:
     async def _respond(self, reader: asyncio.StreamReader
                        ) -> Tuple[int, object, Dict[str, str]]:
         try:
-            request_line = await asyncio.wait_for(reader.readline(),
-                                                  timeout=10.0)
-            parts = request_line.decode("latin-1").split()
-            if len(parts) != 3:
-                return 400, {"error": "malformed request line"}, {}
-            method, target, _version = parts
-            headers: Dict[str, str] = {}
-            while True:
-                line = await asyncio.wait_for(reader.readline(),
-                                              timeout=10.0)
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
-            if length > MAX_BODY_BYTES:
-                return 413, {"error": "request body too large"}, {}
-            body = await reader.readexactly(length) if length else b""
-        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
-                UnicodeDecodeError, ValueError):
-            return 400, {"error": "malformed request"}, {}
-        return self.route(method.upper(), target, headers, body)
+            method, target, headers, body = await _read_request(reader)
+        except _BadRequest as bad:
+            return bad.status, {"error": bad.message}, {}
+        return self.route(method, target, headers, body)
 
     # -- routing ---------------------------------------------------------
 

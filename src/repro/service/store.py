@@ -13,12 +13,25 @@ enforced lazily on :meth:`get` (an expired file is deleted and reported
 as a miss) and in bulk by :meth:`evict_expired`, which the scheduler
 calls opportunistically and on shutdown.  The clock is injectable so
 eviction is testable without sleeping.
+
+Eviction must not race concurrent writers: between an evictor's read
+(which saw an expired record) and its delete, a writer may republish a
+*fresh* record onto the same path via ``os.replace`` - a plain
+``os.remove`` would then destroy the fresh result.  Eviction therefore
+uses rename-and-sweep: the record is atomically renamed to a unique
+``.tomb`` file, re-read there, and only deleted if the captured content
+really is expired or corrupt; a captured fresh record is renamed back
+(restoring it is safe - results are pure functions of their key, so
+any concurrent republication holds identical content).  Tombstones
+orphaned by a crash between rename and verdict are swept by
+:meth:`evict_expired` with the same fresh-restore/expired-delete rule.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -79,25 +92,29 @@ class ResultStore:
             self.misses += 1
             return None
         if self._expired(record):
-            self._remove(path)
-            self.evictions += 1
+            if not self._evict(path):
+                # The rename-and-sweep re-read captured a *fresh*
+                # record: a writer republished the key after our stale
+                # read.  Serve the restored record.
+                record = self._read(path)
+                if record is not None and not self._expired(record):
+                    self.hits += 1
+                    return record["payload"]
             self.misses += 1
             return None
         self.hits += 1
         return record["payload"]
 
     def evict_expired(self) -> int:
-        """Delete every expired record; returns how many were evicted."""
-        if self.ttl_seconds is None:
-            return 0
-        evicted = 0
+        """Delete every expired or corrupt record (and sweep orphaned
+        tombstones); returns how many records were evicted."""
+        evicted = self._sweep_tombstones()
         for key in self.keys():
             path = self._path(key)
             record = self._read(path)
             if record is None or self._expired(record):
-                self._remove(path)
-                evicted += 1
-        self.evictions += evicted
+                if self._evict(path):
+                    evicted += 1
         return evicted
 
     def stats(self) -> Dict[str, float]:
@@ -105,6 +122,59 @@ class ResultStore:
                 "misses": self.misses, "evictions": self.evictions}
 
     # -- internals -------------------------------------------------------
+
+    def _evict(self, path: str) -> bool:
+        """Retire an apparently expired/corrupt record at ``path``.
+
+        Rename-and-sweep: atomically capture the record under a unique
+        tombstone name, re-read it *there*, and only delete if the
+        captured content really is expired or corrupt.  A writer that
+        republished a fresh record between the caller's stale read and
+        the rename is detected by the re-read and the record is renamed
+        back.  Returns True when a record was evicted.
+        """
+        handle, tomb = tempfile.mkstemp(
+            dir=self.directory,
+            prefix=os.path.basename(path) + ".", suffix=".tomb")
+        os.close(handle)
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            self._remove(tomb)  # raced another evictor: already gone
+            return False
+        record = self._read(tomb)
+        if record is not None and not self._expired(record):
+            # Fresh republication captured mid-eviction: restore it.
+            # (Identical keys hold identical content, so renaming over
+            # any even-newer copy is harmless.)
+            os.replace(tomb, path)
+            return False
+        self._remove(tomb)
+        self.evictions += 1
+        return True
+
+    def _sweep_tombstones(self) -> int:
+        """Resolve tombstones orphaned by a crash mid-eviction: restore
+        the fresh ones, delete the expired/corrupt ones.  Returns how
+        many were deleted (counted as evictions)."""
+        deleted = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".tomb"):
+                continue
+            tomb = os.path.join(self.directory, name)
+            record = self._read(tomb)
+            key = record.get("key") if record is not None else None
+            if record is not None and not self._expired(record) \
+                    and isinstance(key, str):
+                try:
+                    os.replace(tomb, self._path(key))
+                except (OSError, ValueError):
+                    self._remove(tomb)
+                continue
+            self._remove(tomb)
+            deleted += 1
+        self.evictions += deleted
+        return deleted
 
     def _expired(self, record: Dict) -> bool:
         if self.ttl_seconds is None:

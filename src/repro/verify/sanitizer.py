@@ -33,17 +33,21 @@ registers between subsets without passing through the dispatch/commit
 lifecycle; the sanitizer re-synchronises its shadow state from the map
 table whenever the renamer reports new moves, using free-list membership
 to distinguish genuinely freed registers from previous mappings that are
-merely awaiting their commit-time free.  Registers freed *by* a move are
-individually exempted from the use-after-free check until their next
-allocation - a reader renamed before the move may legitimately consume
-the old copy afterwards - while every other register keeps the full
-check armed for the remainder of the run.
+merely awaiting their commit-time free.  The move itself is modelled as
+a *real* micro-op injected in program order immediately before the
+instruction whose rename triggered it: a register the move freed
+records that program-order boundary, and the use-after-free check stays
+fully armed relative to it - readers renamed *before* the boundary may
+legitimately consume the old copy (their rename saw the pre-move
+mapping), while any read by a uop at or past the boundary is a genuine
+use-after-free and raises.  The boundary is retired when the register
+is next allocated and starts a fresh lifecycle.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
 from repro.errors import VerificationError
@@ -140,10 +144,12 @@ class PipelineSanitizer:
         # destination, and (result_cycle, cluster) once it has issued.
         self._writer_cluster: Dict[int, int] = {}
         self._result_info: Dict[int, Tuple[int, int]] = {}
-        # Registers a deadlock-breaking move freed out from under
-        # already-renamed readers: use-after-free is undecidable for
-        # these until their next allocation starts a fresh lifecycle.
-        self._uaf_exempt: Set[int] = set()
+        # Registers freed by a deadlock-breaking move, mapped to the
+        # move's program-order boundary: the sequence number of the
+        # first uop renamed after the move.  Readers renamed before the
+        # boundary may still consume the old copy; readers at or past
+        # it are genuine use-after-free.
+        self._move_freed: Dict[int, int] = {}
 
     # -- geometry -------------------------------------------------------
 
@@ -170,10 +176,12 @@ class PipelineSanitizer:
         destination allocation."""
         self.checks += 1
         if self.renamer.deadlock_moves != self._seen_moves:
-            # Moves were injected while renaming this very uop; its
-            # freshly installed destination must keep its pre-rename
-            # (free) state during the resync.
-            self._resync_architected(exclude=uop.pdest)
+            # Moves were injected while renaming this very uop, so this
+            # uop is the move's program-order boundary; its freshly
+            # installed destination must keep its pre-rename (free)
+            # state during the resync.
+            self._resync_architected(exclude=uop.pdest,
+                                     boundary=uop.seq)
             if uop.pdest is not None \
                     and self._state[uop.pdest] == STATE_ARCH:
                 # The destination still reads as architected: the move
@@ -235,7 +243,7 @@ class PipelineSanitizer:
         liveness; records the result timing of the produced register."""
         self.checks += 1
         if self.renamer.deadlock_moves != self._seen_moves:
-            self._resync_architected()
+            self._resync_architected(boundary=self.renamer.renamed)
         cluster = uop.cluster
         if self._mapping is not None:
             first = uop.first_port_operand
@@ -253,16 +261,25 @@ class PipelineSanitizer:
         for psrc in (uop.psrc1, uop.psrc2):
             if psrc is None:
                 continue
-            # A register a move freed behind already-dispatched readers
-            # (the move is an abstraction of a real move uop, performed
-            # instantaneously) is exempt until it is re-allocated; every
-            # other free register keeps the check armed.
-            if self._state[psrc] == STATE_FREE \
-                    and psrc not in self._uaf_exempt:
-                self._fail(
-                    "SAN-REG-STATE",
-                    f"source p{psrc} read while on the free list "
-                    f"(use after free)", cycle, uop.seq)
+            # The deadlock move is a real uop in program order: a
+            # reader renamed before the move (seq below the recorded
+            # boundary) may consume the moved-away copy, but any reader
+            # at or past the boundary saw the post-move mapping and a
+            # free-list read is a genuine use-after-free.
+            if self._state[psrc] == STATE_FREE:
+                boundary = self._move_freed.get(psrc)
+                if boundary is None:
+                    self._fail(
+                        "SAN-REG-STATE",
+                        f"source p{psrc} read while on the free list "
+                        f"(use after free)", cycle, uop.seq)
+                elif uop.seq >= boundary:
+                    self._fail(
+                        "SAN-REG-STATE",
+                        f"source p{psrc} read while on the free list "
+                        f"(use after free): freed by a deadlock move "
+                        f"at program order {boundary}, read by the "
+                        f"later uop #{uop.seq}", cycle, uop.seq)
             info = self._result_info.get(psrc)
             if info is not None:
                 result_cycle, producer_cluster = info
@@ -283,7 +300,7 @@ class PipelineSanitizer:
         """Commit-time checks: destination retires, old mapping frees."""
         self.checks += 1
         if self.renamer.deadlock_moves != self._seen_moves:
-            self._resync_architected()
+            self._resync_architected(boundary=self.renamer.renamed)
         pdest = uop.pdest
         if pdest is not None:
             state = self._state[pdest]
@@ -331,7 +348,7 @@ class PipelineSanitizer:
 
     def _reconcile(self, cycle: int) -> None:
         if self.renamer.deadlock_moves != self._seen_moves:
-            self._resync_architected()
+            self._resync_architected(boundary=self.renamer.renamed)
         renamer = self.renamer
         for file_id in (0, 1):
             visible = renamer.free_registers(file_id)
@@ -357,13 +374,13 @@ class PipelineSanitizer:
         if state == STATE_FREE:
             self._free_counts[file_id][subset] += 1
         else:
-            # Leaving the free pool starts a new lifecycle: the
-            # use-after-free check re-arms for this register even if a
-            # past deadlock move had exempted it.
-            self._uaf_exempt.discard(preg)
+            # Leaving the free pool starts a new lifecycle: the move
+            # boundary (if any) belonged to the previous one.
+            self._move_freed.pop(preg, None)
         self._state[preg] = state
 
-    def _resync_architected(self, exclude: Optional[int] = None) -> None:
+    def _resync_architected(self, exclude: Optional[int] = None,
+                            boundary: int = 0) -> None:
         """Re-derive ARCH/FREE states after deadlock-breaking moves.
 
         A move frees the choked subset's register and claims one from
@@ -373,7 +390,12 @@ class PipelineSanitizer:
         previous mappings awaiting their commit-time free and keep their
         ARCH state.  ``exclude`` protects the pre-rename (free) state of
         a destination installed in the same renamer call that injected
-        the moves.
+        the moves.  ``boundary`` is the move's position in program
+        order - the sequence number of the first uop renamed after it
+        (the triggering uop's own ``seq`` on the dispatch path,
+        ``renamer.renamed`` when the moves were witnessed between
+        renames) - recorded per freed register so the use-after-free
+        check can treat the move as a real uop.
         """
         self._seen_moves = self.renamer.deadlock_moves
         for reg_class in (self.renamer.int_class, self.renamer.fp_class):
@@ -396,6 +418,6 @@ class PipelineSanitizer:
                     if offset in reg_class.free_lists[subset]:
                         self._set_state(preg, STATE_FREE)
                         # Freed by the move itself, not by a commit:
-                        # readers renamed before the move may still
-                        # legitimately consume the old copy.
-                        self._uaf_exempt.add(preg)
+                        # the move uop's program-order boundary decides
+                        # which readers may still see the old copy.
+                        self._move_freed[preg] = boundary

@@ -84,6 +84,44 @@ class TestBlockingCall:
             "        None, self.store.put, key, value)\n")) == []
 
 
+class TestSyncHttp:
+    """Synchronous HTTP in async context (the fleet coordinator's
+    heartbeat/forwarding paths must use the async netio client)."""
+
+    @pytest.mark.parametrize("call", [
+        "http.client.HTTPConnection('h', 80)",
+        "http.client.HTTPSConnection('h')",
+        "HTTPConnection('h', 80)",
+        "urllib.request.urlopen('http://h')",
+        "urlopen('http://h')",
+    ])
+    def test_sync_http_in_async_def(self, tmp_path, call):
+        findings = check(tmp_path, (
+            "import http.client, urllib.request\n"
+            "from http.client import HTTPConnection\n"
+            "from urllib.request import urlopen\n"
+            "async def probe():\n"
+            f"    {call}\n"))
+        assert [f.rule for f in findings] == ["ASYNC-BLOCKING-CALL"]
+        assert findings[0].line == 5
+        assert "synchronous HTTP" in findings[0].message
+
+    def test_sync_http_in_sync_def_not_flagged(self, tmp_path):
+        # The worker harness and blocking clients legitimately use
+        # http.client from plain threads.
+        assert check(tmp_path, (
+            "import http.client\n"
+            "def probe():\n"
+            "    http.client.HTTPConnection('h', 80)\n")) == []
+
+    def test_unrelated_receiver_not_flagged(self, tmp_path):
+        # `urlopen`/connection names on a non-HTTP receiver chain are
+        # somebody else's API.
+        assert check(tmp_path, (
+            "async def probe(self):\n"
+            "    self.pool.urlopen('GET')\n")) == []
+
+
 class TestLockedAwait:
     def test_await_under_sync_lock(self, tmp_path):
         findings = check(tmp_path, (
@@ -143,9 +181,20 @@ class TestSharedState:
 
 
 class TestServiceTree:
-    def test_shipped_service_is_clean(self):
+    def test_shipped_service_and_fleet_are_clean(self):
         context = AnalysisContext(root=ROOT)
         assert async_hazard.run_async_hazard(context) == []
+
+    def test_default_targets_cover_the_fleet_tree(self, tmp_path):
+        fleet = tmp_path / "src" / "repro" / "fleet"
+        fleet.mkdir(parents=True)
+        (fleet / "coordinator.py").write_text(
+            "import time\n"
+            "async def heartbeat():\n"
+            "    time.sleep(1)\n")
+        context = AnalysisContext(root=tmp_path)
+        findings = async_hazard.run_async_hazard(context)
+        assert [f.rule for f in findings] == ["ASYNC-BLOCKING-CALL"]
 
     def test_pass_targets_explicit_paths(self, tmp_path):
         bad = tmp_path / "svc.py"

@@ -1,0 +1,113 @@
+"""End-to-end fleet failure modes: real processes, sockets, SIGTERMs.
+
+One :class:`repro.fleet.local.LocalFleet` (coordinator thread + two
+spawn-context worker processes) serves the full failure-mode story in
+a single test, since booting the fleet is the expensive part:
+
+1. a worker holding an in-flight job is SIGTERMed - the coordinator
+   must requeue through the ring and finish the matrix bit-identical
+   to a direct :func:`run_matrix` execution;
+2. the heartbeat prober must then declare that node dead;
+3. a coordinator restart on the same store must replay every result
+   from disk (no recompute, ``cached`` records);
+4. a restart on a *fresh* store must still answer repeats without
+   recompute via ring affinity to the workers' local caches.
+"""
+
+import time
+
+from repro.fleet.local import LocalFleet
+from repro.service.client import ServiceClient
+from repro.service.loadtest import (
+    _direct_cells,
+    _job_requests,
+    _scrape_counter,
+)
+from repro.trace.cache import DISK_ENV
+
+BENCHMARKS = ("gzip",)
+CONFIGS = ("RR 256", "WSRR 512")
+MEASURE, WARMUP, SEED = 300, 100, 5
+
+
+def _cells_of(records):
+    return [cell for record in records
+            for cell in record["result"]["cells"]]
+
+
+def _await_assignment(fleet, timeout=60.0):
+    """Block until some job is forwarded; returns the holding node."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        assigned = sorted(set(fleet.coordinator._node_of.values()))
+        if assigned:
+            return assigned[0]
+        time.sleep(0.005)
+    raise AssertionError("no job was forwarded to any worker in time")
+
+
+def test_fleet_survives_node_loss_and_replays_results(
+        tmp_path, monkeypatch):
+    # Shared on-disk trace cache: the ground-truth run below generates
+    # the traces once; the spawned workers inherit the env and reuse
+    # them instead of re-synthesising per process.
+    monkeypatch.setenv(DISK_ENV, str(tmp_path / "traces"))
+    direct = _direct_cells(BENCHMARKS, CONFIGS, MEASURE, WARMUP, SEED,
+                           None)
+    requests = _job_requests(BENCHMARKS, CONFIGS, MEASURE, WARMUP, SEED)
+
+    with LocalFleet(workers=2, heartbeat_interval=0.1,
+                    heartbeat_misses=2, cell_delay_ms=800.0,
+                    worker_drain_timeout=2.0,
+                    announce=lambda _message: None) as fleet:
+        client = ServiceClient(fleet.url, client_id="fleet-test",
+                               seed=SEED)
+
+        # 1. Kill the worker that actually holds a job, mid-job: the
+        # 800 ms service-time floor keeps it in flight long enough for
+        # the SIGTERM to land under it.
+        submitted = [client.submit(request) for request in requests]
+        victim_url = _await_assignment(fleet)
+        fleet.kill_worker(fleet.worker_urls.index(victim_url))
+        finals = [client.wait(record["id"], timeout=180.0)
+                  for record in submitted]
+
+        assert [record["state"] for record in finals] \
+            == ["done"] * len(requests)
+        assert _cells_of(finals) == direct
+        counters = fleet.coordinator.registry.counters
+        assert counters.get("fleet_node_losses_total", 0) >= 1
+        assert counters.get("fleet_requeues_total", 0) >= 1
+
+        # 2. The heartbeat prober declares the killed node dead.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if fleet.coordinator.fleet_summary()["alive"] == 1:
+                break
+            time.sleep(0.05)
+        assert fleet.coordinator.fleet_summary()["alive"] == 1
+        assert victim_url not in fleet.coordinator.ring
+
+        # 3. Coordinator restart on the same store: every repeat is
+        # answered from disk, terminal on submission, no recompute.
+        fleet.restart_coordinator(fresh_store=False)
+        replayer = ServiceClient(fleet.url, client_id="replayer",
+                                 seed=SEED)
+        replays = [replayer.submit(request) for request in requests]
+        assert all(record["state"] == "done" for record in replays)
+        assert all(record["cached"] for record in replays)
+        assert _cells_of(replays) == direct
+        assert fleet.coordinator.registry.counters[
+            "fleet_store_hits_total"] == len(requests)
+
+        # 4. Restart on a fresh store: the coordinator cannot short-
+        # circuit, so repeats must ride the ring to the surviving
+        # worker's local cache (it computed or absorbed every key).
+        fleet.restart_coordinator(fresh_store=True)
+        router = ServiceClient(fleet.url, client_id="router", seed=SEED)
+        routed = [router.submit_and_wait(request, timeout=180.0)
+                  for request in requests]
+        assert _cells_of(routed) == direct
+        hits = _scrape_counter(router.metrics(),
+                               "wsrs_fleet_worker_cache_hits_total")
+        assert hits == len(requests)

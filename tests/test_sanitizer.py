@@ -133,12 +133,14 @@ class TestViolationDetection:
 
 
 class TestPostMoveRearm:
-    """Deadlock-breaking moves must not permanently disarm SAN-REG-STATE.
+    """Deadlock-breaking moves must not disarm SAN-REG-STATE.
 
-    A move frees registers out from under already-renamed readers, so
-    *those* registers are exempt from the use-after-free check until
-    their next allocation - but the check (and the double-free check)
-    must stay armed for every other register afterwards.
+    The sanitizer models a move as a real uop injected in program order
+    immediately before the instruction whose rename triggered it.  A
+    register the move freed keeps the use-after-free check armed
+    relative to that boundary: readers renamed before it may consume
+    the old copy, readers at or past it raise, and the double-free
+    check stays armed for every register throughout.
     """
 
     def _run_past_moves(self):
@@ -181,7 +183,7 @@ class TestPostMoveRearm:
         sanitizer = processor.sanitizer
         free_preg = next(p for p in range(len(sanitizer._state))
                          if sanitizer.state_of(p) == STATE_FREE
-                         and p not in sanitizer._uaf_exempt)
+                         and p not in sanitizer._move_freed)
 
         class ForgedIssue:
             seq = 515151
@@ -195,15 +197,39 @@ class TestPostMoveRearm:
         assert excinfo.value.rule == "SAN-REG-STATE"
         assert "use after free" in str(excinfo.value)
 
-    def test_exemption_ends_at_reallocation(self):
-        # A move-freed register may be read without complaint, but once
-        # it is re-allocated its next full free/read lifecycle must trip
-        # the re-armed check.
+    def test_post_boundary_read_of_move_freed_register_raises(self):
+        # The move is a real uop: a reader sequenced at or after the
+        # move's boundary saw the post-move mapping, so reading the
+        # freed copy is a genuine use-after-free.
         processor = self._run_past_moves()
         sanitizer = processor.sanitizer
         preg = next(p for p in range(len(sanitizer._state))
                     if sanitizer.state_of(p) == STATE_FREE)
-        sanitizer._uaf_exempt.add(preg)
+        sanitizer._move_freed[preg] = 515151
+
+        class ForgedIssue:
+            seq = 515151
+            cluster = 0
+            pdest = None
+            psrc1 = preg
+            psrc2 = None
+
+        with pytest.raises(SanitizerViolation) as excinfo:
+            sanitizer.on_issue(ForgedIssue(), cycle=888)
+        assert excinfo.value.rule == "SAN-REG-STATE"
+        assert "use after free" in str(excinfo.value)
+        assert "deadlock move" in str(excinfo.value)
+
+    def test_boundary_ends_at_reallocation(self):
+        # A move-freed register may be read by a pre-boundary uop
+        # without complaint, but once it is re-allocated its next full
+        # free/read lifecycle must trip the re-armed check even for
+        # that same reader.
+        processor = self._run_past_moves()
+        sanitizer = processor.sanitizer
+        preg = next(p for p in range(len(sanitizer._state))
+                    if sanitizer.state_of(p) == STATE_FREE)
+        sanitizer._move_freed[preg] = 616162  # reader below is earlier
 
         class Uop:
             seq = 616161

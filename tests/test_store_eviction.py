@@ -1,0 +1,153 @@
+"""Eviction-vs-writer race tests for the service result store.
+
+ISSUE 10 satellite: TTL eviction used to read-check-then-``os.remove``,
+so a writer republishing a fresh record between the evictor's stale
+read and its delete lost the fresh result.  Eviction now captures the
+record under a unique ``.tomb`` name (atomic rename), re-reads it
+there, and only deletes what really is expired or corrupt; fresh
+captures are renamed back, and tombstones orphaned by a crash are swept
+on the next :meth:`evict_expired`.  These tests pin the protocol
+deterministically and then genuinely race writer and evictor processes
+on one directory.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.service.store import ResultStore
+
+KEYS = ("aa00", "bb11", "cc22", "dd33")
+BLOB = "x" * 20_000
+
+
+def _payload(writer: int, round_index: int) -> dict:
+    return {"writer": writer, "round": round_index, "blob": BLOB}
+
+
+class TestRenameAndSweep:
+    def test_stale_evictor_cannot_delete_republished_record(self, tmp_path):
+        # The race, deterministically: an evictor decided from a stale
+        # read that the record is expired, but by delete time a writer
+        # has republished a fresh record.  The rename's re-read must
+        # notice and restore it.
+        store = ResultStore(str(tmp_path), ttl_seconds=60.0)
+        store.put("aa00", {"v": 1})
+        assert store._evict(store._path("aa00")) is False
+        assert store.get("aa00") == {"v": 1}
+        assert store.evictions == 0
+
+    def test_expired_record_is_still_evicted(self, tmp_path):
+        now = [1000.0]
+        store = ResultStore(str(tmp_path), ttl_seconds=10.0,
+                            clock=lambda: now[0])
+        store.put("aa00", {"v": 1})
+        now[0] += 11.0
+        assert store.evict_expired() == 1
+        assert store.get("aa00") is None
+        assert len(store) == 0
+        assert not os.listdir(tmp_path)  # no tombstone residue
+
+    def test_get_serves_record_republished_mid_expiry(self, tmp_path):
+        # get() saw an expired record, but the eviction re-read captured
+        # a fresh one: the record is restored *and served*.  The clock
+        # sequence plays the interleaving: stored at 0, first expiry
+        # check at 100 (expired), re-read and final check back at 0.
+        clock_values = [0.0, 100.0, 0.0, 0.0]
+        store = ResultStore(str(tmp_path), ttl_seconds=10.0,
+                            clock=lambda: clock_values.pop(0))
+        store.put("aa00", {"v": 2})
+        assert store.get("aa00") == {"v": 2}
+        assert store.hits == 1
+        assert store.evictions == 0
+
+    def test_sweep_restores_fresh_orphan_tombstone(self, tmp_path):
+        store = ResultStore(str(tmp_path), ttl_seconds=60.0)
+        store.put("aa00", {"v": 3})
+        # Crash mid-eviction: the record was renamed to a tombstone and
+        # the evictor died before reaching a verdict.
+        os.replace(store._path("aa00"),
+                   str(tmp_path / "aa00.json.dead.tomb"))
+        assert store.get("aa00") is None
+        assert store.evict_expired() == 0
+        assert store.get("aa00") == {"v": 3}
+
+    def test_sweep_deletes_expired_and_corrupt_tombstones(self, tmp_path):
+        now = [0.0]
+        store = ResultStore(str(tmp_path), ttl_seconds=10.0,
+                            clock=lambda: now[0])
+        store.put("aa00", {"v": 4})
+        os.replace(store._path("aa00"),
+                   str(tmp_path / "aa00.json.dead.tomb"))
+        (tmp_path / "bb11.json.dead.tomb").write_text("{ torn")
+        now[0] += 11.0
+        assert store.evict_expired() == 2
+        assert not os.listdir(tmp_path)
+
+    def test_corrupt_record_is_swept(self, tmp_path):
+        store = ResultStore(str(tmp_path), ttl_seconds=60.0)
+        (tmp_path / "aa00.json").write_text("{ not json")
+        assert store.evict_expired() == 1
+        assert not os.listdir(tmp_path)
+
+
+def _writer(directory: str, writer: int, rounds: int) -> None:
+    store = ResultStore(directory, ttl_seconds=0.2)
+    for round_index in range(rounds):
+        for key in KEYS:
+            store.put(key, _payload(writer, round_index))
+        for key in KEYS:
+            got = store.get(key)
+            # Transient absence is fine (an evictor may briefly hold
+            # the record in a tombstone); a *torn* record never is.
+            assert got is None or len(got["blob"]) == 20_000
+
+
+def _evictor(directory: str, stop_path: str) -> None:
+    # A clock running 0.15s fast against a 0.2s TTL: anything older
+    # than 50ms looks expired, so eviction fires constantly and the
+    # writers' republications land squarely in the read-to-delete
+    # window the rename-and-sweep protocol exists for.
+    store = ResultStore(directory, ttl_seconds=0.2,
+                        clock=lambda: time.time() + 0.15)
+    while not os.path.exists(stop_path):
+        store.evict_expired()
+
+
+def test_eviction_hammer_never_tears_or_strands(tmp_path):
+    """Race 3 republishing writers against 2 aggressive evictors."""
+    directory = str(tmp_path / "store")
+    stop_path = str(tmp_path / "stop")
+    os.makedirs(directory, exist_ok=True)
+    evictors = [multiprocessing.Process(target=_evictor,
+                                        args=(directory, stop_path))
+                for _ in range(2)]
+    writers = [multiprocessing.Process(target=_writer,
+                                       args=(directory, index, 50))
+               for index in range(3)]
+    for process in evictors + writers:
+        process.start()
+    for process in writers:
+        process.join(120)
+        assert process.exitcode == 0
+    with open(stop_path, "w", encoding="utf-8"):
+        pass
+    for process in evictors:
+        process.join(30)
+        assert process.exitcode == 0
+    # With every evictor stopped, a final republication must stick: the
+    # old remove-based eviction could delete it from a stale read.
+    store = ResultStore(directory, ttl_seconds=60.0)
+    for key in KEYS:
+        store.put(key, _payload(99, 0))
+    assert store.evict_expired() == 0
+    for key in KEYS:
+        assert store.get(key) == _payload(99, 0)
+    # Only the four complete records remain - no temp or tombstone
+    # residue from any loser of any race.
+    names = sorted(os.listdir(directory))
+    assert names == sorted(f"{key}.json" for key in KEYS)
+    for name in names:
+        with open(os.path.join(directory, name), encoding="utf-8") as fh:
+            assert len(json.load(fh)["payload"]["blob"]) == 20_000
